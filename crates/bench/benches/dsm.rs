@@ -1,0 +1,76 @@
+//! Criterion wall-clock benches for the DSM coherence protocol and the
+//! codec (supporting E4 and the parameter-passing path).
+
+use clouds_codec as codec;
+use clouds_dsm::{DsmClientPartition, DsmServer};
+use clouds_ra::{AddressSpace, PageCache, Partition, SysName, PAGE_SIZE};
+use clouds_ratp::{RatpConfig, RatpNode};
+use clouds_simnet::{CostModel, Network, NodeId};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn dsm_pair() -> (AddressSpace, AddressSpace, SysName) {
+    let net = Network::new(CostModel::zero());
+    let ds = RatpNode::spawn(net.register(NodeId(100)).unwrap(), RatpConfig::default());
+    let _server = DsmServer::install(&ds);
+    let mk = |id| {
+        let ratp = RatpNode::spawn(net.register(id).unwrap(), RatpConfig::default());
+        let cache = Arc::new(PageCache::new(64));
+        DsmClientPartition::install(&ratp, cache, vec![NodeId(100)])
+    };
+    let a = mk(NodeId(1));
+    let b = mk(NodeId(2));
+    let seg = SysName::from_parts(9, 9);
+    a.create_segment(seg, PAGE_SIZE as u64).unwrap();
+    let mut sa = AddressSpace::new(Arc::clone(a.cache()), a as Arc<dyn Partition>);
+    let mut sb = AddressSpace::new(Arc::clone(b.cache()), b as Arc<dyn Partition>);
+    sa.map(0, seg, 0, PAGE_SIZE as u64, true).unwrap();
+    sb.map(0, seg, 0, PAGE_SIZE as u64, true).unwrap();
+    (sa, sb, seg)
+}
+
+fn bench_dsm(c: &mut Criterion) {
+    let (sa, sb, _seg) = dsm_pair();
+    let mut group = c.benchmark_group("dsm");
+    group.sample_size(10);
+    group.bench_function("page_ping_pong", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            sa.write_u64(0, i).unwrap();
+            black_box(sb.read_u64(0).unwrap());
+            sb.write_u64(0, i + 1).unwrap();
+            black_box(sa.read_u64(0).unwrap());
+            i += 2;
+        });
+    });
+    group.bench_function("local_hit_read", |b| {
+        sa.write_u64(0, 7).unwrap();
+        b.iter(|| black_box(sa.read_u64(0).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let value: Vec<(String, u64, Vec<u8>)> = (0..64)
+        .map(|i| (format!("key-{i}"), i, vec![i as u8; 100]))
+        .collect();
+    let encoded = codec::to_bytes(&value).unwrap();
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(codec::to_bytes(&value).unwrap()));
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            black_box(
+                codec::from_bytes::<Vec<(String, u64, Vec<u8>)>>(&encoded).unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsm, bench_codec);
+criterion_main!(benches);

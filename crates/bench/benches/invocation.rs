@@ -1,0 +1,92 @@
+//! Criterion wall-clock benches for E3 and E5: hot object invocation
+//! and gcp-thread deposits on the host machine.
+
+use clouds::prelude::*;
+use clouds_consistency::{ConsistencyRuntime, CpOptions};
+use clouds_simnet::CostModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+struct Null;
+impl ObjectCode for Null {
+    fn dispatch(&self, entry: &str, ctx: &mut Invocation<'_>, args: &[u8]) -> EntryResult {
+        match entry {
+            "nop" => encode_result(&()),
+            "deposit" => {
+                let amount: u64 = decode_args(args)?;
+                let v = ctx.persistent().read_u64(0)? + amount;
+                ctx.persistent().write_u64(0, v)?;
+                encode_result(&v)
+            }
+            other => Err(CloudsError::NoSuchEntryPoint(other.to_string())),
+        }
+    }
+}
+
+fn bench_invocation(c: &mut Criterion) {
+    let cluster = Cluster::builder()
+        .compute_servers(1)
+        .data_servers(1)
+        .workstations(0)
+        .cost_model(CostModel::zero())
+        .build()
+        .unwrap();
+    cluster.register_class("null", Null).unwrap();
+    let obj = cluster.create_object("null", "N").unwrap();
+    let args = encode_args(&()).unwrap();
+
+    let mut group = c.benchmark_group("invocation");
+    group.sample_size(20);
+    group.bench_function("hot_null_invocation", |b| {
+        b.iter(|| black_box(cluster.compute(0).invoke(obj, "nop", &args, None).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_gcp(c: &mut Criterion) {
+    let cluster = Cluster::builder()
+        .compute_servers(1)
+        .data_servers(1)
+        .workstations(0)
+        .cost_model(CostModel::zero())
+        .build()
+        .unwrap();
+    cluster.register_class("null", Null).unwrap();
+    let runtime = ConsistencyRuntime::install(&cluster);
+    let obj = cluster.create_object("null", "N").unwrap();
+    let args = encode_args(&1u64).unwrap();
+    let opts = CpOptions::default();
+
+    let mut group = c.benchmark_group("consistency");
+    group.sample_size(20);
+    group.bench_function("gcp_deposit", |b| {
+        b.iter(|| {
+            black_box(
+                runtime
+                    .invoke(
+                        cluster.compute(0),
+                        OperationLabel::Gcp,
+                        obj,
+                        "deposit",
+                        &args,
+                        &opts,
+                    )
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("s_deposit", |b| {
+        b.iter(|| {
+            black_box(
+                cluster
+                    .compute(0)
+                    .invoke(obj, "deposit", &args, None)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_invocation, bench_gcp);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion wall-clock benches for E1: the real cost of the
+//! reproduction's context switch and page-fault service on the host
+//! machine (the paper's absolute numbers live in `paper_tables`).
+
+use clouds_bench::kernel_exp;
+use clouds_ra::{AccessMode, LocalPartition, PageCache, SegmentStore, SysName, PAGE_SIZE};
+use clouds_simnet::{CostModel, VirtualClock};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_context_switch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(10);
+    group.bench_function("context_switch_pair_x200", |b| {
+        b.iter(|| black_box(kernel_exp::context_switch_wall(200)));
+    });
+    group.finish();
+}
+
+fn bench_page_fault(c: &mut Criterion) {
+    let clock = Arc::new(VirtualClock::new());
+    let store = SegmentStore::new();
+    let seg = SysName::from_parts(1, 1);
+    store.create(seg, 64 * PAGE_SIZE as u64).unwrap();
+    let part = LocalPartition::new(store, clock, CostModel::zero());
+
+    let mut group = c.benchmark_group("kernel");
+    group.bench_function("page_fault_zero_fill", |b| {
+        let mut page = 0u32;
+        let cache = PageCache::new(4);
+        b.iter(|| {
+            cache
+                .access((seg, page % 64), AccessMode::Read, &part, |f| {
+                    black_box(f.data[0]);
+                })
+                .unwrap();
+            page = page.wrapping_add(1);
+        });
+    });
+    group.bench_function("page_hit", |b| {
+        let cache = PageCache::new(4);
+        cache
+            .access((seg, 0), AccessMode::Read, &part, |_| ())
+            .unwrap();
+        b.iter(|| {
+            cache
+                .access((seg, 0), AccessMode::Read, &part, |f| {
+                    black_box(f.data[0]);
+                })
+                .unwrap();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_context_switch, bench_page_fault);
+criterion_main!(benches);

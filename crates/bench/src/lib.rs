@@ -1,0 +1,23 @@
+//! `clouds-bench` — the benchmark harness that regenerates every
+//! measured claim of the paper's evaluation (§4.3) and research section
+//! (§5). See DESIGN.md's per-experiment index (E1–E6) and
+//! EXPERIMENTS.md for recorded results.
+//!
+//! Two front ends share the experiment runners in this library:
+//!
+//! * `cargo run -p clouds-bench --release --bin paper_tables` prints the
+//!   paper-vs-measured tables in **virtual time** (the calibrated Sun-3
+//!   cost model).
+//! * `cargo bench` runs Criterion benches measuring the **wall-clock**
+//!   cost of the same code paths on the host machine.
+
+pub mod baselines;
+pub mod consistency_exp;
+pub mod invocation_exp;
+pub mod kernel_exp;
+pub mod network_exp;
+pub mod pet_exp;
+pub mod report;
+pub mod sort_exp;
+
+pub use report::{print_table, Row};

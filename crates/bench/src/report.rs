@@ -1,0 +1,85 @@
+//! Table formatting for the paper-vs-measured reports.
+
+/// One row of an experiment table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// What is measured.
+    pub quantity: String,
+    /// The paper's reported value (verbatim).
+    pub paper: String,
+    /// Our measured/modeled value.
+    pub measured: String,
+    /// Shape verdict or remark.
+    pub note: String,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(
+        quantity: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        note: impl Into<String>,
+    ) -> Row {
+        Row {
+            quantity: quantity.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            note: note.into(),
+        }
+    }
+}
+
+/// Print one experiment's table.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!();
+    println!("== {title}");
+    let wq = rows
+        .iter()
+        .map(|r| r.quantity.len())
+        .chain(["quantity".len()])
+        .max()
+        .unwrap_or(8);
+    let wp = rows
+        .iter()
+        .map(|r| r.paper.len())
+        .chain(["paper".len()])
+        .max()
+        .unwrap_or(5);
+    let wm = rows
+        .iter()
+        .map(|r| r.measured.len())
+        .chain(["measured".len()])
+        .max()
+        .unwrap_or(8);
+    println!("{:<wq$}  {:>wp$}  {:>wm$}  note", "quantity", "paper", "measured");
+    println!("{}", "-".repeat(wq + wp + wm + 10));
+    for r in rows {
+        println!(
+            "{:<wq$}  {:>wp$}  {:>wm$}  {}",
+            r.quantity, r.paper, r.measured, r.note
+        );
+    }
+}
+
+/// Format a virtual time in the paper's style (milliseconds).
+pub fn ms(vt: clouds_simnet::Vt) -> String {
+    format!("{:.2} ms", vt.as_millis_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_format() {
+        let r = Row::new("context switch", "0.14 ms", "0.14 ms", "exact");
+        assert_eq!(r.quantity, "context switch");
+        print_table("smoke", &[r]);
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(clouds_simnet::Vt::from_micros(2400)), "2.40 ms");
+    }
+}

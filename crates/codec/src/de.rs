@@ -1,0 +1,303 @@
+//! Deserializer half of the Clouds codec.
+
+use crate::error::{Error, Result};
+use serde::de::{self, DeserializeSeed, Visitor};
+
+/// Decode a value of type `T` from `bytes`, requiring the whole input to be
+/// consumed.
+///
+/// # Errors
+///
+/// Fails on truncated input, trailing bytes, or malformed payloads (bad
+/// UTF-8, invalid bool/char encodings, variant indices out of range).
+///
+/// ```
+/// let v: (u16, bool) = clouds_codec::from_bytes(&[1, 0, 1]).unwrap();
+/// assert_eq!(v, (1, true));
+/// ```
+pub fn from_bytes<T: de::DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let mut de = Deserializer::new(bytes);
+    let value = T::deserialize(&mut de)?;
+    let rest = de.remaining();
+    if rest == 0 {
+        Ok(value)
+    } else {
+        Err(Error::TrailingBytes(rest))
+    }
+}
+
+/// Streaming deserializer reading the Clouds binary format from a slice.
+#[derive(Debug)]
+pub struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    /// Wrap a byte slice for decoding.
+    pub fn new(input: &'de [u8]) -> Self {
+        Deserializer { input }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'de [u8]> {
+        if self.input.len() < n {
+            return Err(Error::Eof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    fn take_len(&mut self) -> Result<usize> {
+        let raw = u64::from_le_bytes(self.take_array()?);
+        usize::try_from(raw).map_err(|_| Error::LengthOverflow(raw))
+    }
+}
+
+macro_rules! de_int {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+            visitor.$visit(<$ty>::from_le_bytes(self.take_array()?))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::NotSelfDescribing)
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.take_array::<1>()?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            other => Err(Error::InvalidBool(other)),
+        }
+    }
+
+    de_int!(deserialize_i8, visit_i8, i8);
+    de_int!(deserialize_i16, visit_i16, i16);
+    de_int!(deserialize_i32, visit_i32, i32);
+    de_int!(deserialize_i64, visit_i64, i64);
+    de_int!(deserialize_i128, visit_i128, i128);
+    de_int!(deserialize_u8, visit_u8, u8);
+    de_int!(deserialize_u16, visit_u16, u16);
+    de_int!(deserialize_u32, visit_u32, u32);
+    de_int!(deserialize_u64, visit_u64, u64);
+    de_int!(deserialize_u128, visit_u128, u128);
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_f32(f32::from_bits(u32::from_le_bytes(self.take_array()?)))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_f64(f64::from_bits(u64::from_le_bytes(self.take_array()?)))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let raw = u32::from_le_bytes(self.take_array()?);
+        let c = char::from_u32(raw).ok_or(Error::InvalidChar(raw))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| Error::InvalidUtf8)?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        match self.take_array::<1>()?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            other => Err(Error::InvalidBool(other)),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_seq(Counted::new(self, len))
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted::new(self, len))
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted::new(self, len))
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value> {
+        let len = self.take_len()?;
+        visitor.visit_map(Counted::new(self, len))
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted::new(self, fields.len()))
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::NotSelfDescribing)
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value> {
+        Err(Error::NotSelfDescribing)
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Sequence/map access that yields exactly `remaining` elements.
+struct Counted<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    remaining: usize,
+}
+
+impl<'a, 'de> Counted<'a, 'de> {
+    fn new(de: &'a mut Deserializer<'de>, remaining: usize) -> Self {
+        Counted { de, remaining }
+    }
+}
+
+impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
+    type Error = Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(&mut self, seed: T) -> Result<Option<T::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
+    type Error = Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> Result<Option<K::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = Error;
+    type Variant = Self;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> Result<(V::Value, Self)> {
+        let idx = u32::from_le_bytes(self.de.take_array()?);
+        let val = seed.deserialize(de::value::U32Deserializer::<Error>::new(idx))?;
+        Ok((val, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = Error;
+
+    fn unit_variant(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value> {
+        visitor.visit_seq(Counted::new(self.de, len))
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value> {
+        visitor.visit_seq(Counted::new(self.de, fields.len()))
+    }
+}

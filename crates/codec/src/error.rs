@@ -1,0 +1,65 @@
+//! Error type for the Clouds codec.
+
+use std::fmt;
+
+/// Alias for `std::result::Result` with [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while encoding or decoding Clouds parameter blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Input ended before the value was fully decoded.
+    Eof,
+    /// Extra bytes remained after the value was fully decoded.
+    TrailingBytes(usize),
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A `char` scalar value was not a valid Unicode code point.
+    InvalidChar(u32),
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// A declared length does not fit in `usize`.
+    LengthOverflow(u64),
+    /// A sequence was serialized without a known length.
+    UnknownLength,
+    /// An enum variant index was out of range for the target type.
+    InvalidVariant(u32),
+    /// `deserialize_any` was requested; the format is not self-describing.
+    NotSelfDescribing,
+    /// Custom error raised by a `Serialize`/`Deserialize` impl.
+    Message(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Eof => write!(f, "unexpected end of input"),
+            Error::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            Error::InvalidBool(b) => write!(f, "invalid bool byte {b}"),
+            Error::InvalidChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            Error::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            Error::LengthOverflow(n) => write!(f, "declared length {n} overflows usize"),
+            Error::UnknownLength => write!(f, "sequence length must be known up front"),
+            Error::InvalidVariant(v) => write!(f, "invalid enum variant index {v}"),
+            Error::NotSelfDescribing => {
+                write!(f, "clouds-codec is not self-describing; deserialize_any unsupported")
+            }
+            Error::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::Message(msg.to_string())
+    }
+}

@@ -1,0 +1,317 @@
+//! Serializer half of the Clouds codec.
+
+use crate::error::{Error, Result};
+use serde::ser::{self, Serialize};
+
+/// Encode `value` into a fresh byte vector.
+///
+/// # Errors
+///
+/// Fails if the value contains an unknown-length sequence or a
+/// `Serialize` impl raises a custom error.
+///
+/// ```
+/// let bytes = clouds_codec::to_bytes(&(1u16, true)).unwrap();
+/// assert_eq!(bytes, vec![1, 0, 1]);
+/// ```
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut ser = Serializer::new();
+    value.serialize(&mut ser)?;
+    Ok(ser.into_bytes())
+}
+
+/// Streaming serializer writing the Clouds binary format into a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: Vec<u8>,
+}
+
+impl Serializer {
+    /// Create an empty serializer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extract the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    fn put_len(&mut self, len: usize) {
+        self.put(&(len as u64).to_le_bytes());
+    }
+}
+
+macro_rules! ser_int {
+    ($method:ident, $ty:ty) => {
+        fn $method(self, v: $ty) -> Result<()> {
+            self.put(&v.to_le_bytes());
+            Ok(())
+        }
+    };
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.put(&[v as u8]);
+        Ok(())
+    }
+
+    ser_int!(serialize_i8, i8);
+    ser_int!(serialize_i16, i16);
+    ser_int!(serialize_i32, i32);
+    ser_int!(serialize_i64, i64);
+    ser_int!(serialize_i128, i128);
+    ser_int!(serialize_u8, u8);
+    ser_int!(serialize_u16, u16);
+    ser_int!(serialize_u32, u32);
+    ser_int!(serialize_u64, u64);
+    ser_int!(serialize_u128, u128);
+
+    fn serialize_f32(self, v: f32) -> Result<()> {
+        self.put(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<()> {
+        self.put(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<()> {
+        self.put(&(v as u32).to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        self.put_len(v.len());
+        self.put(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.put_len(v.len());
+        self.put(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.put(&[0]);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<()> {
+        self.put(&[1]);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<()> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<()> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        self.put(&variant_index.to_le_bytes());
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>> {
+        let len = len.ok_or(Error::UnknownLength)?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>> {
+        let len = len.ok_or(Error::UnknownLength)?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>> {
+        self.put(&variant_index.to_le_bytes());
+        Ok(Compound { ser: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// In-progress compound value (sequence, map, tuple, struct, variant).
+#[derive(Debug)]
+pub struct Compound<'a> {
+    ser: &'a mut Serializer,
+}
+
+impl ser::SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<()> {
+        key.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<()> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<()> {
+        Ok(())
+    }
+}

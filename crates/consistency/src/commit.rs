@@ -1,0 +1,294 @@
+//! Two-phase commit: participants on data servers, plus the durable
+//! transaction-outcome registry.
+//!
+//! "The updated segments are written using a 2-phase commit mechanism
+//! when the cp-thread completes" (§5.2.1). The coordinator is the
+//! committing cp-thread itself; the participants are the data servers
+//! that home the written segments.
+//!
+//! Crash behaviour:
+//!
+//! * The intent log ([`CommitLog`]) survives crashes (it is "on disk",
+//!   like the segment store).
+//! * A participant that restarts with *staged* (prepared, undecided)
+//!   transactions consults the [`OutcomeRegistry`]: committed ⇒ install
+//!   the staged pages; unknown ⇒ presumed abort.
+//! * The coordinator records the commit decision durably in the registry
+//!   *before* sending any `Commit`, so the decision is never lost.
+
+use clouds::CloudsError;
+use clouds_dsm::{ports, DsmServer};
+use clouds_ra::SysName;
+use clouds_ratp::{RatpNode, Request};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One page image to install at commit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageImage {
+    /// Segment sysname.
+    pub seg: SysName,
+    /// Page index.
+    pub page: u32,
+    /// Full page contents.
+    pub data: Vec<u8>,
+}
+
+/// Requests to a data server's commit participant ([`ports::COMMIT`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CommitRequest {
+    /// Phase one: stage pages for `txn`.
+    Prepare {
+        /// Global transaction id.
+        txn: u64,
+        /// Pages to install on commit.
+        pages: Vec<PageImage>,
+    },
+    /// Phase two: install staged pages.
+    Commit {
+        /// Global transaction id.
+        txn: u64,
+    },
+    /// Phase two (failure): discard staged pages.
+    Abort {
+        /// Global transaction id.
+        txn: u64,
+    },
+    /// Lightweight path (lcp): stage and install in one atomic local
+    /// step — no cross-server atomicity.
+    ApplyLocal {
+        /// Global transaction id.
+        txn: u64,
+        /// Pages to install now.
+        pages: Vec<PageImage>,
+    },
+    /// Record a commit decision (outcome registry, first data server).
+    RecordOutcome {
+        /// Global transaction id.
+        txn: u64,
+    },
+    /// Query a commit decision (participant recovery).
+    QueryOutcome {
+        /// Global transaction id.
+        txn: u64,
+    },
+}
+
+/// Replies from the commit participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommitReply {
+    /// Prepare accepted / operation done.
+    Ok,
+    /// Prepare or apply refused (storage failure).
+    Refused,
+    /// Outcome query: the transaction committed.
+    Committed,
+    /// Outcome query: no commit record (presumed abort).
+    Unknown,
+}
+
+/// Verdict recorded for a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Commit decision durably recorded.
+    Committed,
+    /// No record: presumed abort.
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+enum LogState {
+    Staged(Vec<PageImage>),
+}
+
+/// The crash-surviving intent log of one participant.
+#[derive(Debug, Clone, Default)]
+struct CommitLog {
+    entries: Arc<Mutex<HashMap<u64, LogState>>>,
+}
+
+/// The durable transaction-outcome table hosted on the first data
+/// server. Cheap to clone; clones share state (it survives the node's
+/// crash like a disk).
+#[derive(Debug, Clone, Default)]
+pub struct OutcomeRegistry {
+    committed: Arc<Mutex<std::collections::HashSet<u64>>>,
+}
+
+impl OutcomeRegistry {
+    /// An empty registry.
+    pub fn new() -> OutcomeRegistry {
+        OutcomeRegistry::default()
+    }
+
+    /// Durably record that `txn` committed.
+    pub fn record(&self, txn: u64) {
+        self.committed.lock().insert(txn);
+    }
+
+    /// Look up a transaction's outcome.
+    pub fn outcome(&self, txn: u64) -> TxnOutcome {
+        if self.committed.lock().contains(&txn) {
+            TxnOutcome::Committed
+        } else {
+            TxnOutcome::Unknown
+        }
+    }
+}
+
+/// The commit participant service co-located with a [`DsmServer`].
+pub struct CommitParticipant {
+    dsm: Arc<DsmServer>,
+    log: CommitLog,
+    /// Outcome registry, when this participant hosts it.
+    registry: Option<OutcomeRegistry>,
+    /// Keeps the node's transport alive.
+    _ratp: Mutex<Option<Arc<RatpNode>>>,
+}
+
+impl fmt::Debug for CommitParticipant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CommitParticipant")
+            .field("node", &self.dsm.node_id())
+            .field("staged", &self.log.entries.lock().len())
+            .field("hosts_registry", &self.registry.is_some())
+            .finish()
+    }
+}
+
+impl CommitParticipant {
+    /// Install the participant on a data server; `registry` is `Some` on
+    /// the data server hosting the outcome registry.
+    pub fn install(
+        ratp: &Arc<RatpNode>,
+        dsm: Arc<DsmServer>,
+        registry: Option<OutcomeRegistry>,
+    ) -> Arc<CommitParticipant> {
+        let participant = Arc::new(CommitParticipant {
+            dsm,
+            log: CommitLog::default(),
+            registry,
+            _ratp: Mutex::new(Some(Arc::clone(ratp))),
+        });
+        let handler = Arc::clone(&participant);
+        ratp.register_service(ports::COMMIT, move |req: Request| {
+            let reply = match clouds_codec::from_bytes::<CommitRequest>(&req.payload) {
+                Ok(message) => handler.handle(message),
+                Err(_) => CommitReply::Refused,
+            };
+            bytes::Bytes::from(clouds_codec::to_bytes(&reply).expect("encodes"))
+        });
+        participant
+    }
+
+    fn handle(&self, req: CommitRequest) -> CommitReply {
+        match req {
+            CommitRequest::Prepare { txn, pages } => {
+                // Validate the pages are installable before voting yes.
+                for page in &pages {
+                    if self.dsm.store().get(page.seg).is_err() {
+                        return CommitReply::Refused;
+                    }
+                }
+                self.log
+                    .entries
+                    .lock()
+                    .insert(txn, LogState::Staged(pages));
+                CommitReply::Ok
+            }
+            CommitRequest::Commit { txn } => {
+                let staged = self.log.entries.lock().remove(&txn);
+                match staged {
+                    Some(LogState::Staged(pages)) => self.install_pages(&pages),
+                    // Duplicate commit (retransmission after apply).
+                    None => CommitReply::Ok,
+                }
+            }
+            CommitRequest::Abort { txn } => {
+                self.log.entries.lock().remove(&txn);
+                CommitReply::Ok
+            }
+            CommitRequest::ApplyLocal { txn: _, pages } => self.install_pages(&pages),
+            CommitRequest::RecordOutcome { txn } => match &self.registry {
+                Some(reg) => {
+                    reg.record(txn);
+                    CommitReply::Ok
+                }
+                None => CommitReply::Refused,
+            },
+            CommitRequest::QueryOutcome { txn } => match &self.registry {
+                Some(reg) => match reg.outcome(txn) {
+                    TxnOutcome::Committed => CommitReply::Committed,
+                    TxnOutcome::Unknown => CommitReply::Unknown,
+                },
+                None => CommitReply::Refused,
+            },
+        }
+    }
+
+    fn install_pages(&self, pages: &[PageImage]) -> CommitReply {
+        for page in pages {
+            if self.dsm.commit_page(page.seg, page.page, &page.data).is_err() {
+                return CommitReply::Refused;
+            }
+        }
+        CommitReply::Ok
+    }
+
+    /// Number of staged (prepared, undecided) transactions.
+    pub fn staged_count(&self) -> usize {
+        self.log.entries.lock().len()
+    }
+
+    /// Crash-recovery: resolve staged transactions against the outcome
+    /// registry (reached through `ratp` at `registry_node`). Committed
+    /// transactions are installed; unknown ones are presumed aborted.
+    ///
+    /// Returns `(installed, aborted)` transaction counts.
+    pub fn recover(
+        &self,
+        ratp: &Arc<RatpNode>,
+        registry_node: clouds_simnet::NodeId,
+    ) -> (usize, usize) {
+        let staged: Vec<(u64, Vec<PageImage>)> = {
+            let mut log = self.log.entries.lock();
+            log.drain()
+                .map(|(txn, LogState::Staged(pages))| (txn, pages))
+                .collect()
+        };
+        let mut installed = 0;
+        let mut aborted = 0;
+        for (txn, pages) in staged {
+            let verdict = if self.registry.is_some() {
+                // We host the registry: answer locally.
+                match self.registry.as_ref().expect("checked").outcome(txn) {
+                    TxnOutcome::Committed => CommitReply::Committed,
+                    TxnOutcome::Unknown => CommitReply::Unknown,
+                }
+            } else {
+                let req = CommitRequest::QueryOutcome { txn };
+                let payload =
+                    bytes::Bytes::from(clouds_codec::to_bytes(&req).expect("encodes"));
+                ratp.call(registry_node, ports::COMMIT, payload)
+                    .ok()
+                    .and_then(|b| clouds_codec::from_bytes(&b).ok())
+                    .unwrap_or(CommitReply::Unknown)
+            };
+            if verdict == CommitReply::Committed {
+                self.install_pages(&pages);
+                installed += 1;
+            } else {
+                aborted += 1;
+            }
+        }
+        (installed, aborted)
+    }
+}
+
+/// Errors helper: map a refused reply into a [`CloudsError`].
+pub(crate) fn refused(what: &str) -> CloudsError {
+    CloudsError::ConsistencyAbort(format!("{what} refused by participant"))
+}

@@ -1,0 +1,356 @@
+//! The user-facing consistency runtime: run invocations as s-, lcp- or
+//! gcp-threads with automatic locking, recovery and retry.
+
+use crate::commit::{refused, CommitParticipant, CommitReply, CommitRequest, OutcomeRegistry, PageImage};
+use crate::hooks::RemoteLockHooks;
+use clouds::consistency_hooks::CpSession;
+use clouds::{CloudsError, Cluster, ComputeServer, OperationLabel};
+use clouds_dsm::ports;
+use clouds_ra::SysName;
+use clouds_simnet::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs for cp-thread execution.
+#[derive(Debug, Clone)]
+pub struct CpOptions {
+    /// Lock-wait deadline (deadlock resolution), milliseconds.
+    pub lock_wait_ms: u64,
+    /// How many times to re-run a computation aborted by lock timeouts.
+    pub max_retries: u32,
+}
+
+impl Default for CpOptions {
+    fn default() -> Self {
+        CpOptions {
+            lock_wait_ms: 800,
+            max_retries: 24,
+        }
+    }
+}
+
+/// Counters describing cp-thread behaviour (experiment E5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpStats {
+    /// Computations that committed.
+    pub commits: u64,
+    /// Aborts (lock timeouts + refused prepares), counting each retry.
+    pub aborts: u64,
+    /// Computations that exhausted their retry budget.
+    pub failures: u64,
+}
+
+/// The consistency runtime for one cluster.
+///
+/// Created with [`ConsistencyRuntime::install`], which places a
+/// [`CommitParticipant`] on every data server and the
+/// [`OutcomeRegistry`] on the first.
+pub struct ConsistencyRuntime {
+    participants: Vec<Arc<CommitParticipant>>,
+    registry: OutcomeRegistry,
+    registry_node: NodeId,
+    data_nodes: Vec<NodeId>,
+    txn_counter: AtomicU64,
+    owner_counter: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl fmt::Debug for ConsistencyRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConsistencyRuntime")
+            .field("participants", &self.participants.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ConsistencyRuntime {
+    /// Install commit participants on all of the cluster's data servers.
+    pub fn install(cluster: &Cluster) -> Arc<ConsistencyRuntime> {
+        let registry = OutcomeRegistry::new();
+        let mut participants = Vec::new();
+        let mut data_nodes = Vec::new();
+        for (i, ds) in cluster.data_servers().iter().enumerate() {
+            let reg = (i == 0).then(|| registry.clone());
+            participants.push(CommitParticipant::install(
+                ds.ratp(),
+                Arc::clone(ds.dsm()),
+                reg,
+            ));
+            data_nodes.push(ds.node_id());
+        }
+        Arc::new(ConsistencyRuntime {
+            participants,
+            registry,
+            registry_node: data_nodes[0],
+            data_nodes,
+            txn_counter: AtomicU64::new(1),
+            owner_counter: AtomicU64::new(1),
+            commits: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        })
+    }
+
+    /// The outcome registry (for tests and recovery drills).
+    pub fn registry(&self) -> &OutcomeRegistry {
+        &self.registry
+    }
+
+    /// The participant on data server `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn participant(&self, i: usize) -> &Arc<CommitParticipant> {
+        &self.participants[i]
+    }
+
+    /// The node hosting the outcome registry.
+    pub fn registry_node(&self) -> NodeId {
+        self.registry_node
+    }
+
+    /// Snapshot of the abort/commit counters.
+    pub fn stats(&self) -> CpStats {
+        CpStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run `target.entry(args)` with the semantics declared by the
+    /// entry's [`OperationLabel`] (§5.2.1's static labels).
+    ///
+    /// # Errors
+    ///
+    /// The invocation's error, or [`CloudsError::ConsistencyAbort`]
+    /// after the retry budget is exhausted.
+    pub fn invoke_labeled(
+        &self,
+        compute: &ComputeServer,
+        target: SysName,
+        entry: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, CloudsError> {
+        let label = compute.entry_label(target, entry)?;
+        self.invoke(compute, label, target, entry, args, &CpOptions::default())
+    }
+
+    /// Run `target.entry(args)` with an explicit label and options.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConsistencyRuntime::invoke_labeled`].
+    pub fn invoke(
+        &self,
+        compute: &ComputeServer,
+        label: OperationLabel,
+        target: SysName,
+        entry: &str,
+        args: &[u8],
+        opts: &CpOptions,
+    ) -> Result<Vec<u8>, CloudsError> {
+        match label {
+            OperationLabel::S => compute.invoke(target, entry, args, None),
+            OperationLabel::Lcp | OperationLabel::Gcp => {
+                self.run_cp(compute, label, target, entry, args, opts)
+            }
+        }
+    }
+
+    fn run_cp(
+        &self,
+        compute: &ComputeServer,
+        label: OperationLabel,
+        target: SysName,
+        entry: &str,
+        args: &[u8],
+        opts: &CpOptions,
+    ) -> Result<Vec<u8>, CloudsError> {
+        let mut last_error = None;
+        for _attempt in 0..=opts.max_retries {
+            match self.attempt_cp(compute, label, target, entry, args, opts) {
+                Ok(bytes) => {
+                    self.commits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(bytes);
+                }
+                Err(CloudsError::ConsistencyAbort(m)) => {
+                    self.aborts.fetch_add(1, Ordering::Relaxed);
+                    last_error = Some(CloudsError::ConsistencyAbort(m));
+                    // Back off with owner-dependent jitter so two aborted
+                    // threads do not collide again in lock-step (the
+                    // upgrade-deadlock livelock).
+                    let jitter = (self.owner_counter.load(Ordering::Relaxed) % 11)
+                        + 3 * (_attempt as u64 + 1);
+                    std::thread::sleep(std::time::Duration::from_millis(5 + jitter));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        Err(last_error.unwrap_or_else(|| {
+            CloudsError::ConsistencyAbort("cp-thread failed with no recorded cause".into())
+        }))
+    }
+
+    fn attempt_cp(
+        &self,
+        compute: &ComputeServer,
+        label: OperationLabel,
+        target: SysName,
+        entry: &str,
+        args: &[u8],
+        opts: &CpOptions,
+    ) -> Result<Vec<u8>, CloudsError> {
+        let owner = self.owner_counter.fetch_add(1, Ordering::Relaxed)
+            | ((compute.node_id().0 as u64) << 48);
+        let hooks = Arc::new(RemoteLockHooks::new(
+            Arc::clone(compute.ratp()),
+            Arc::clone(compute.dsm()),
+            opts.lock_wait_ms,
+        ));
+        let session = CpSession::new(owner, Arc::clone(&hooks) as _);
+
+        let outcome = compute.invoke(target, entry, args, Some(Arc::clone(&session)));
+
+        let result = match outcome {
+            Err(e) => {
+                session.discard_shadows();
+                Err(e)
+            }
+            Ok(bytes) => {
+                let shadows = session.take_shadows();
+                if shadows.is_empty() {
+                    Ok(bytes) // read-only computation: nothing to commit
+                } else {
+                    self.commit_shadows(compute, label, shadows).map(|()| bytes)
+                }
+            }
+        };
+        // Strict two-phase locking: everything is released only after
+        // the commit decision (or abort).
+        hooks.release_all(owner);
+        result
+    }
+
+    /// Group shadow pages by home data server and commit them.
+    fn commit_shadows(
+        &self,
+        compute: &ComputeServer,
+        label: OperationLabel,
+        shadows: Vec<((SysName, u32), Vec<u8>)>,
+    ) -> Result<(), CloudsError> {
+        let txn = self.txn_counter.fetch_add(1, Ordering::Relaxed)
+            | ((compute.node_id().0 as u64) << 48);
+        let mut by_server: HashMap<NodeId, Vec<PageImage>> = HashMap::new();
+        for ((seg, page), data) in shadows {
+            let home = compute
+                .dsm()
+                .home_of(seg)
+                .map_err(|e| CloudsError::ConsistencyAbort(format!("commit routing: {e}")))?;
+            by_server.entry(home).or_default().push(PageImage {
+                seg,
+                page,
+                data,
+            });
+        }
+
+        match label {
+            OperationLabel::Lcp => {
+                // Lightweight: atomic per server, no cross-server 2PC.
+                for (server, pages) in by_server {
+                    let reply = self.call(compute, server, &CommitRequest::ApplyLocal {
+                        txn,
+                        pages,
+                    })?;
+                    if reply != CommitReply::Ok {
+                        return Err(refused("local apply"));
+                    }
+                }
+                Ok(())
+            }
+            OperationLabel::Gcp => self.two_phase_commit(compute, txn, by_server),
+            OperationLabel::S => unreachable!("s-threads have no shadows"),
+        }
+    }
+
+    fn two_phase_commit(
+        &self,
+        compute: &ComputeServer,
+        txn: u64,
+        by_server: HashMap<NodeId, Vec<PageImage>>,
+    ) -> Result<(), CloudsError> {
+        let servers: Vec<NodeId> = by_server.keys().copied().collect();
+
+        // Phase 1: prepare everywhere.
+        let mut all_prepared = true;
+        for (server, pages) in &by_server {
+            match self.call(compute, *server, &CommitRequest::Prepare {
+                txn,
+                pages: pages.clone(),
+            }) {
+                Ok(CommitReply::Ok) => {}
+                _ => {
+                    all_prepared = false;
+                    break;
+                }
+            }
+        }
+
+        if !all_prepared {
+            for server in &servers {
+                let _ = self.call(compute, *server, &CommitRequest::Abort { txn });
+            }
+            return Err(CloudsError::ConsistencyAbort(format!(
+                "prepare phase failed for txn {txn}"
+            )));
+        }
+
+        // Commit point: record the decision durably *before* phase 2 so
+        // a participant crash cannot lose the verdict.
+        match self.call(compute, self.registry_node, &CommitRequest::RecordOutcome { txn }) {
+            Ok(CommitReply::Ok) => {}
+            _ => {
+                for server in &servers {
+                    let _ = self.call(compute, *server, &CommitRequest::Abort { txn });
+                }
+                return Err(CloudsError::ConsistencyAbort(format!(
+                    "could not record commit decision for txn {txn}"
+                )));
+            }
+        }
+
+        // Phase 2: best-effort installs. A participant that misses the
+        // message recovers the verdict from the registry on restart.
+        for server in &servers {
+            let _ = self.call(compute, *server, &CommitRequest::Commit { txn });
+        }
+        Ok(())
+    }
+
+    fn call(
+        &self,
+        compute: &ComputeServer,
+        server: NodeId,
+        req: &CommitRequest,
+    ) -> Result<CommitReply, CloudsError> {
+        let payload = bytes::Bytes::from(clouds_codec::to_bytes(req).expect("encodes"));
+        let reply = compute
+            .ratp()
+            .call(server, ports::COMMIT, payload)
+            .map_err(|e| CloudsError::ConsistencyAbort(format!("participant {server}: {e}")))?;
+        clouds_codec::from_bytes(&reply)
+            .map_err(|e| CloudsError::ConsistencyAbort(format!("bad commit reply: {e}")))
+    }
+
+    /// All data-server nodes (participant placement).
+    pub fn data_nodes(&self) -> &[NodeId] {
+        &self.data_nodes
+    }
+}

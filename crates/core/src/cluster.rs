@@ -1,0 +1,319 @@
+//! Cluster assembly: one simulated Ethernet, any number of compute
+//! servers, data servers and workstations (§3, Figure 3).
+
+use crate::class::{ClassRegistry, ObjectCode};
+use crate::error::CloudsError;
+use crate::node::{ComputeServer, DataServer, Workstation};
+use clouds_naming::NameClient;
+use clouds_ra::SysName;
+use clouds_ratp::RatpConfig;
+use clouds_simnet::{CostModel, Network, NodeId};
+use std::fmt;
+use std::time::Duration;
+
+/// First node id used for compute servers.
+pub const COMPUTE_BASE: u32 = 1;
+/// First node id used for data servers.
+pub const DATA_BASE_ID: u32 = 100;
+/// First node id used for workstations.
+pub const WS_BASE: u32 = 200;
+
+/// Builder for a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    compute_servers: usize,
+    data_servers: usize,
+    workstations: usize,
+    cost: CostModel,
+    seed: u64,
+    cpus: usize,
+    cache_frames: usize,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            compute_servers: 1,
+            data_servers: 1,
+            workstations: 1,
+            cost: CostModel::sun3_ethernet(),
+            seed: 0xC10D5,
+            cpus: 4,
+            cache_frames: 512,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of compute servers (default 1).
+    pub fn compute_servers(mut self, n: usize) -> Self {
+        self.compute_servers = n;
+        self
+    }
+
+    /// Number of data servers (default 1).
+    pub fn data_servers(mut self, n: usize) -> Self {
+        self.data_servers = n;
+        self
+    }
+
+    /// Number of workstations (default 1).
+    pub fn workstations(mut self, n: usize) -> Self {
+        self.workstations = n;
+        self
+    }
+
+    /// Virtual-time cost model (default: the calibrated Sun-3 model).
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Fault-injection RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Virtual CPUs per compute server (default 4; 1 is the faithful
+    /// Sun-3/60).
+    pub fn cpus(mut self, cpus: usize) -> Self {
+        self.cpus = cpus;
+        self
+    }
+
+    /// Page frames per compute server (default 512 = 4 MB).
+    pub fn cache_frames(mut self, frames: usize) -> Self {
+        self.cache_frames = frames;
+        self
+    }
+
+    /// Boot the cluster.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; returns `Result` so future
+    /// wiring failures stay non-breaking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any server count is zero (except workstations).
+    pub fn build(self) -> Result<Cluster, CloudsError> {
+        assert!(self.compute_servers > 0, "need at least one compute server");
+        assert!(self.data_servers > 0, "need at least one data server");
+
+        let net = Network::with_seed(self.cost, self.seed);
+        let registry = ClassRegistry::new();
+
+        let data_nodes: Vec<NodeId> = (0..self.data_servers)
+            .map(|i| NodeId(DATA_BASE_ID + i as u32))
+            .collect();
+        let compute_nodes: Vec<NodeId> = (0..self.compute_servers)
+            .map(|i| NodeId(COMPUTE_BASE + i as u32))
+            .collect();
+        let naming_server = data_nodes[0];
+
+        // Data servers first so the DSM clients can discover them.
+        let datas: Vec<DataServer> = data_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| DataServer::boot(&net, node, server_ratp_config(), i == 0))
+            .collect();
+
+        let computes: Vec<ComputeServer> = compute_nodes
+            .iter()
+            .map(|&node| {
+                ComputeServer::boot(
+                    &net,
+                    node,
+                    data_nodes.clone(),
+                    naming_server,
+                    registry.clone(),
+                    server_ratp_config(),
+                    self.cpus,
+                    self.cache_frames,
+                )
+            })
+            .collect();
+
+        let stations: Vec<Workstation> = (0..self.workstations)
+            .map(|i| {
+                Workstation::boot(
+                    &net,
+                    NodeId(WS_BASE + i as u32),
+                    compute_nodes.clone(),
+                    naming_server,
+                    workstation_ratp_config(),
+                )
+            })
+            .collect();
+
+        Ok(Cluster {
+            net,
+            registry,
+            computes,
+            datas,
+            stations,
+        })
+    }
+}
+
+/// RaTP settings for system servers: patient enough for coherence
+/// transitions under load.
+fn server_ratp_config() -> RatpConfig {
+    RatpConfig {
+        retry_interval: Duration::from_millis(15),
+        max_retries: 200,
+        dup_cache_size: 4096,
+    }
+}
+
+/// Workstation calls block for the whole computation, so the budget is
+/// effectively unbounded (hours).
+fn workstation_ratp_config() -> RatpConfig {
+    RatpConfig {
+        retry_interval: Duration::from_millis(25),
+        max_retries: 1_000_000,
+        dup_cache_size: 4096,
+    }
+}
+
+/// A booted Clouds system.
+pub struct Cluster {
+    net: Network,
+    registry: ClassRegistry,
+    computes: Vec<ComputeServer>,
+    datas: Vec<DataServer>,
+    stations: Vec<Workstation>,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("compute_servers", &self.computes.len())
+            .field("data_servers", &self.datas.len())
+            .field("workstations", &self.stations.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Start building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// The simulated network (fault injection, stats, clocks).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Load a class on every compute server ("the compiler loads the
+    /// generated classes on a Clouds data server. Now these classes are
+    /// available to all Clouds compute servers", §3.1).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` keeps the API future-proof.
+    pub fn register_class<C: ObjectCode>(&self, name: &str, code: C) -> Result<(), CloudsError> {
+        self.registry.register(name, code);
+        Ok(())
+    }
+
+    /// The shared class registry.
+    pub fn registry(&self) -> &ClassRegistry {
+        &self.registry
+    }
+
+    /// Compute server `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn compute(&self, i: usize) -> &ComputeServer {
+        &self.computes[i]
+    }
+
+    /// All compute servers.
+    pub fn computes(&self) -> &[ComputeServer] {
+        &self.computes
+    }
+
+    /// Data server `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn data_server(&self, i: usize) -> &DataServer {
+        &self.datas[i]
+    }
+
+    /// All data servers.
+    pub fn data_servers(&self) -> &[DataServer] {
+        &self.datas
+    }
+
+    /// Workstation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn workstation(&self, i: usize) -> &Workstation {
+        &self.stations[i]
+    }
+
+    /// All workstations.
+    pub fn workstations(&self) -> &[Workstation] {
+        &self.stations
+    }
+
+    /// A name client speaking from compute server 0.
+    pub fn naming(&self) -> &NameClient {
+        self.computes[0].naming()
+    }
+
+    /// Create an object from compute server 0 and register its name.
+    ///
+    /// # Errors
+    ///
+    /// Unknown class, storage/naming failures, constructor errors.
+    pub fn create_object(&self, class: &str, user_name: &str) -> Result<SysName, CloudsError> {
+        self.computes[0].create_object(class, Some(user_name), None)
+    }
+
+    /// Crash data server `i` (volatile state lost, store survives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn crash_data_server(&self, i: usize) {
+        self.datas[i].crash(&self.net);
+    }
+
+    /// Restart data server `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn restart_data_server(&self, i: usize) {
+        self.datas[i].restart(&self.net);
+    }
+
+    /// Crash compute server `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn crash_compute(&self, i: usize) {
+        self.computes[i].crash(&self.net);
+    }
+
+    /// Restart compute server `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn restart_compute(&self, i: usize) {
+        self.computes[i].restart(&self.net);
+    }
+}

@@ -1,0 +1,125 @@
+//! Asynchronous invocation (§2.4) and load-aware thread placement
+//! (§3.2 "may depend on such factors as scheduling policies and the
+//! load at each compute server").
+
+use clouds::prelude::*;
+use clouds::{decode_args, encode_result};
+use clouds_simnet::CostModel;
+
+struct Fanout;
+
+impl ObjectCode for Fanout {
+    fn dispatch(&self, entry: &str, ctx: &mut Invocation<'_>, args: &[u8]) -> EntryResult {
+        match entry {
+            "slow_add" => {
+                let delta: u64 = decode_args(args)?;
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let v = ctx.persistent().read_u64(0)? + delta;
+                ctx.persistent().write_u64(0, v)?;
+                encode_result(&v)
+            }
+            "get" => encode_result(&ctx.persistent().read_u64(0)?),
+            "fan" => {
+                // Start three asynchronous children on this server, then
+                // continue immediately and finally collect their results.
+                let (peer, n): (SysName, u64) = decode_args(args)?;
+                let handles: Vec<_> = (0..n)
+                    .map(|_| {
+                        ctx.invoke_async(peer, "slow_add", &clouds::encode_args(&1u64).expect("args"))
+                    })
+                    .collect();
+                // The caller keeps working while children run.
+                let concurrent_marker = ctx.persistent().read_u64(0)?;
+                let mut results = Vec::new();
+                for h in handles {
+                    let v: u64 = clouds::decode_args(&h.join()?)?;
+                    results.push(v);
+                }
+                encode_result(&(concurrent_marker, results))
+            }
+            other => Err(CloudsError::NoSuchEntryPoint(other.to_string())),
+        }
+    }
+}
+
+#[test]
+fn asynchronous_invocations_run_concurrently() {
+    let cluster = Cluster::builder()
+        .compute_servers(1)
+        .data_servers(1)
+        .workstations(0)
+        .cost_model(CostModel::zero())
+        .cpus(8)
+        .build()
+        .unwrap();
+    cluster.register_class("fanout", Fanout).unwrap();
+    let a = cluster.compute(0).create_object("fanout", Some("A"), None).unwrap();
+    let b = cluster.compute(0).create_object("fanout", Some("B"), None).unwrap();
+
+    let started = std::time::Instant::now();
+    let (_, results): (u64, Vec<u64>) = decode_args(
+        &cluster
+            .compute(0)
+            .invoke(a, "fan", &clouds::encode_args(&(b, 3u64)).unwrap(), None)
+            .unwrap(),
+    )
+    .unwrap();
+    let elapsed = started.elapsed();
+    // Three 20 ms children; they must overlap (well under 3×20 ms plus
+    // slack) and all take effect exactly once.
+    assert_eq!(results.len(), 3);
+    let final_b: u64 = decode_args(
+        &cluster
+            .compute(0)
+            .invoke(b, "get", &clouds::encode_args(&()).unwrap(), None)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(final_b, 3);
+    assert!(
+        elapsed < std::time::Duration::from_millis(500),
+        "children did not overlap: {elapsed:?}"
+    );
+}
+
+#[test]
+fn least_loaded_placement_avoids_busy_server() {
+    let cluster = Cluster::builder()
+        .compute_servers(2)
+        .data_servers(1)
+        .workstations(1)
+        .cost_model(CostModel::zero())
+        .cpus(1)
+        .build()
+        .unwrap();
+    cluster.register_class("fanout", Fanout).unwrap();
+    let ws = cluster.workstation(0);
+    ws.create_object("fanout", "F").unwrap();
+    let obj = cluster.naming().lookup("F").unwrap();
+
+    // Saturate compute 0's single virtual CPU with queued IsiBas.
+    let busy: Vec<_> = (0..6)
+        .map(|_| {
+            cluster.compute(0).start_thread(
+                obj,
+                "slow_add",
+                clouds::encode_args(&0u64).unwrap(),
+                None,
+            )
+        })
+        .collect();
+    // Give the queue a moment to fill.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+
+    let picked = ws.least_loaded_compute();
+    assert_eq!(picked, cluster.compute(1).node_id());
+
+    for h in busy {
+        let _ = h.join();
+    }
+
+    // With a dead server, the live one is chosen regardless of load.
+    cluster.crash_compute(1);
+    let picked = ws.least_loaded_compute();
+    assert_eq!(picked, cluster.compute(0).node_id());
+}

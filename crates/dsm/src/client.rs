@@ -1,0 +1,293 @@
+//! The DSM client partition for diskless compute servers.
+//!
+//! "Compute servers do not have any secondary storage… Secondary storage
+//! is provided by data servers" (§3). A compute server reaches every
+//! segment through this partition: it discovers which data server homes
+//! a segment, demand-pages over RaTP, and answers the data server's
+//! recall/downgrade requests against the node's page cache.
+
+use crate::proto::{
+    self, ports, DsmReply, DsmRequest, RecallReply, RecallRequest, WireMode,
+};
+use clouds_ra::{AccessMode, PageCache, PageFetch, Partition, RaError, ReclaimOutcome, SysName};
+use clouds_ratp::{CallError, RatpNode, Request};
+use clouds_simnet::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A [`Partition`] that pages segments from remote data servers with
+/// coherence. See the crate-level example.
+pub struct DsmClientPartition {
+    ratp: Arc<RatpNode>,
+    cache: Arc<PageCache>,
+    data_servers: Vec<NodeId>,
+    homes: Mutex<HashMap<SysName, NodeId>>,
+}
+
+impl fmt::Debug for DsmClientPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DsmClientPartition")
+            .field("node", &self.ratp.node_id())
+            .field("data_servers", &self.data_servers)
+            .finish()
+    }
+}
+
+impl DsmClientPartition {
+    /// Create the partition and register the recall service
+    /// ([`ports::DSM_CLIENT`]) on this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_servers` is empty.
+    pub fn install(
+        ratp: &Arc<RatpNode>,
+        cache: Arc<PageCache>,
+        data_servers: Vec<NodeId>,
+    ) -> Arc<DsmClientPartition> {
+        assert!(
+            !data_servers.is_empty(),
+            "a DSM client needs at least one data server"
+        );
+        let part = Arc::new(DsmClientPartition {
+            ratp: Arc::clone(ratp),
+            cache: Arc::clone(&cache),
+            data_servers,
+            homes: Mutex::new(HashMap::new()),
+        });
+        ratp.register_service(ports::DSM_CLIENT, move |req: Request| {
+            let reply = match proto::decode::<RecallRequest>(&req.payload) {
+                Ok(RecallRequest::Reclaim { seg, page }) => match cache.reclaim((seg, page)) {
+                    ReclaimOutcome::NotPresent => RecallReply::NotPresent,
+                    ReclaimOutcome::Taken { dirty_data: None } => RecallReply::Clean,
+                    ReclaimOutcome::Taken {
+                        dirty_data: Some(data),
+                    } => RecallReply::Dirty(data),
+                },
+                Ok(RecallRequest::Downgrade { seg, page }) => {
+                    match cache.downgrade((seg, page)) {
+                        Some(data) => RecallReply::Dirty(data),
+                        None => RecallReply::Clean,
+                    }
+                }
+                Err(_) => RecallReply::NotPresent,
+            };
+            proto::encode(&reply)
+        });
+        part
+    }
+
+    /// This node's page cache (the one recalls are served from).
+    pub fn cache(&self) -> &Arc<PageCache> {
+        &self.cache
+    }
+
+    /// The data servers this client knows about.
+    pub fn data_servers(&self) -> &[NodeId] {
+        &self.data_servers
+    }
+
+    /// Create a segment on a *specific* data server (used for explicit
+    /// replica placement by PET).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server's error or transport failure.
+    pub fn create_segment_at(&self, seg: SysName, len: u64, home: NodeId) -> clouds_ra::Result<()> {
+        match self.call(home, &DsmRequest::CreateSegment { seg, len })? {
+            DsmReply::Ok => {
+                self.homes.lock().insert(seg, home);
+                Ok(())
+            }
+            DsmReply::Err(e) => Err(e.into()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Default placement for a fresh segment: hash over the data servers.
+    pub fn default_home(&self, seg: SysName) -> NodeId {
+        let idx = (seg.as_u128() % self.data_servers.len() as u128) as usize;
+        self.data_servers[idx]
+    }
+
+    /// Drop any cached home mapping (tests, failover).
+    pub fn forget_home(&self, seg: SysName) {
+        self.homes.lock().remove(&seg);
+    }
+
+    /// The data server homing `seg` (discovering it if unknown). Used by
+    /// lock placement: segment locks live on the segment's home server.
+    ///
+    /// # Errors
+    ///
+    /// [`RaError::SegmentNotFound`] if no data server has the segment.
+    pub fn home_of(&self, seg: SysName) -> clouds_ra::Result<NodeId> {
+        self.resolve(seg)
+    }
+
+    /// The transport node this partition runs on.
+    pub fn ratp(&self) -> &Arc<RatpNode> {
+        &self.ratp
+    }
+
+    fn call(&self, server: NodeId, req: &DsmRequest) -> clouds_ra::Result<DsmReply> {
+        match self.ratp.call(server, ports::DSM_SERVER, proto::encode(req)) {
+            Ok(bytes) => proto::decode(&bytes),
+            Err(CallError::TimedOut) => Err(RaError::PartitionUnavailable(format!(
+                "data server {server} unreachable"
+            ))),
+            Err(e) => Err(RaError::PartitionUnavailable(e.to_string())),
+        }
+    }
+
+    /// Find (and remember) the data server homing `seg`, probing all
+    /// known data servers on a cache miss.
+    fn resolve(&self, seg: SysName) -> clouds_ra::Result<NodeId> {
+        if let Some(home) = self.homes.lock().get(&seg) {
+            return Ok(*home);
+        }
+        // Probe the default home first (cheap hit for hash-placed
+        // segments), then the rest.
+        let mut order = vec![self.default_home(seg)];
+        for &ds in &self.data_servers {
+            if !order.contains(&ds) {
+                order.push(ds);
+            }
+        }
+        for server in order {
+            match self.call(server, &DsmRequest::SegmentLen { seg }) {
+                Ok(DsmReply::Len(_)) => {
+                    self.homes.lock().insert(seg, server);
+                    return Ok(server);
+                }
+                Ok(_) | Err(_) => continue,
+            }
+        }
+        Err(RaError::SegmentNotFound(seg))
+    }
+
+    fn on_home<T>(
+        &self,
+        seg: SysName,
+        f: impl Fn(NodeId) -> clouds_ra::Result<T>,
+    ) -> clouds_ra::Result<T> {
+        let home = self.resolve(seg)?;
+        match f(home) {
+            Err(RaError::SegmentNotFound(_)) => {
+                // Stale home cache (segment moved/recreated): rediscover once.
+                self.forget_home(seg);
+                let home = self.resolve(seg)?;
+                f(home)
+            }
+            other => other,
+        }
+    }
+}
+
+fn unexpected(reply: DsmReply) -> RaError {
+    RaError::PartitionUnavailable(format!("unexpected DSM reply: {reply:?}"))
+}
+
+impl Partition for DsmClientPartition {
+    fn create_segment(&self, seg: SysName, len: u64) -> clouds_ra::Result<()> {
+        self.create_segment_at(seg, len, self.default_home(seg))
+    }
+
+    fn destroy_segment(&self, seg: SysName) -> clouds_ra::Result<()> {
+        self.on_home(seg, |home| {
+            match self.call(home, &DsmRequest::DestroySegment { seg })? {
+                DsmReply::Ok => Ok(()),
+                DsmReply::Err(e) => Err(e.into()),
+                other => Err(unexpected(other)),
+            }
+        })
+        .inspect(|()| self.forget_home(seg))
+    }
+
+    fn segment_len(&self, seg: SysName) -> clouds_ra::Result<u64> {
+        self.on_home(seg, |home| {
+            match self.call(home, &DsmRequest::SegmentLen { seg })? {
+                DsmReply::Len(len) => Ok(len),
+                DsmReply::Err(e) => Err(e.into()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn fetch_page(&self, seg: SysName, page: u32, mode: AccessMode) -> clouds_ra::Result<PageFetch> {
+        let wire_mode = match mode {
+            AccessMode::Read => WireMode::Read,
+            AccessMode::Write => WireMode::Write,
+        };
+        self.on_home(seg, |home| {
+            match self.call(
+                home,
+                &DsmRequest::FetchPage {
+                    seg,
+                    page,
+                    mode: wire_mode,
+                },
+            )? {
+                DsmReply::Page {
+                    data,
+                    version,
+                    zero_filled,
+                    grant_seq,
+                } => Ok(PageFetch {
+                    data,
+                    version,
+                    zero_filled,
+                    grant_seq,
+                }),
+                DsmReply::Err(e) => Err(e.into()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn write_back(&self, seg: SysName, page: u32, data: &[u8]) -> clouds_ra::Result<u64> {
+        self.on_home(seg, |home| {
+            match self.call(
+                home,
+                &DsmRequest::WriteBack {
+                    seg,
+                    page,
+                    data: data.to_vec(),
+                    release: false,
+                },
+            )? {
+                DsmReply::Ok => Ok(0),
+                DsmReply::Err(e) => Err(e.into()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn release_page(&self, seg: SysName, page: u32) -> clouds_ra::Result<()> {
+        self.on_home(seg, |home| {
+            match self.call(home, &DsmRequest::ReleasePage { seg, page })? {
+                DsmReply::Ok => Ok(()),
+                DsmReply::Err(e) => Err(e.into()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    fn ack_page_install(&self, seg: SysName, page: u32, grant_seq: u64) {
+        // Fire-and-forget: if the ack is lost the manager's deadline
+        // expires and coherence proceeds conservatively.
+        if let Some(home) = self.homes.lock().get(&seg).copied() {
+            self.ratp.notify(
+                home,
+                ports::DSM_SERVER,
+                proto::encode(&DsmRequest::InstallAck {
+                    seg,
+                    page,
+                    grant_seq,
+                }),
+            );
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The segment-level lock manager hosted on data servers.
+//!
+//! "The DSM server allows maintaining (both exclusive and shared) locks
+//! on segments and provides other synchronization support" (§4.2).
+//! cp-threads (§5.2.1) acquire these locks automatically: "all segments
+//! it reads are read-locked, and the segments it updates are
+//! write-locked … Locking is performed at the segment-level and not at
+//! the object level. Since segments are user defined, this allows user
+//! control of the granularity of locking."
+//!
+//! Locks are owned by *lock owners* (Clouds thread ids), re-entrant, and
+//! support shared→exclusive upgrade when the upgrader is the only
+//! reader. Blocking acquires wait server-side with a deadline, which is
+//! the deadlock-resolution mechanism used by `clouds-consistency`
+//! (timeout → abort → retry).
+
+use crate::proto::{self, ports};
+use clouds_ra::SysName;
+use clouds_ratp::{RatpNode, Request};
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Lock compatibility mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Many owners may hold the lock for reading.
+    Shared,
+    /// A single owner holds the lock for writing.
+    Exclusive,
+}
+
+/// Outcome of an acquire attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LockOutcome {
+    /// The lock is now held.
+    Granted,
+    /// The deadline passed while waiting (possible deadlock; caller
+    /// should abort and retry).
+    Timeout,
+}
+
+/// Requests accepted by the lock service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LockRequest {
+    /// Acquire `seg` in `mode` for `owner`, waiting up to `wait_ms`.
+    Acquire {
+        /// Segment to lock.
+        seg: SysName,
+        /// Requested mode.
+        mode: LockMode,
+        /// Lock owner (Clouds thread id).
+        owner: u64,
+        /// Maximum real time to wait, in milliseconds.
+        wait_ms: u64,
+    },
+    /// Release one hold of `seg` by `owner`.
+    Release {
+        /// Segment to unlock.
+        seg: SysName,
+        /// Lock owner.
+        owner: u64,
+    },
+    /// Release every lock held by `owner` (commit/abort cleanup).
+    ReleaseAll {
+        /// Lock owner.
+        owner: u64,
+    },
+}
+
+/// Replies from the lock service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LockReply {
+    /// Acquire result.
+    Acquired(LockOutcome),
+    /// Release succeeded; count of holds released.
+    Released(u32),
+    /// Release of a lock that was not held.
+    NotHeld,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Reader → re-entrancy count.
+    readers: HashMap<u64, u32>,
+    /// Writer and its re-entrancy count.
+    writer: Option<(u64, u32)>,
+    /// Owner currently waiting to upgrade shared → exclusive. Two
+    /// upgraders deadlock by construction, so the second is refused
+    /// immediately instead of timing out (§5.2.1's abort-and-retry,
+    /// minus the pointless wait).
+    upgrading: Option<u64>,
+}
+
+impl LockState {
+    fn can_grant(&self, mode: LockMode, owner: u64) -> bool {
+        match mode {
+            LockMode::Shared => match self.writer {
+                Some((w, _)) => w == owner,
+                None => true,
+            },
+            LockMode::Exclusive => {
+                let writer_ok = match self.writer {
+                    Some((w, _)) => w == owner,
+                    None => true,
+                };
+                let readers_ok = self
+                    .readers
+                    .keys()
+                    .all(|&r| r == owner);
+                writer_ok && readers_ok
+            }
+        }
+    }
+
+    fn grant(&mut self, mode: LockMode, owner: u64) {
+        match mode {
+            LockMode::Shared => *self.readers.entry(owner).or_insert(0) += 1,
+            LockMode::Exclusive => match &mut self.writer {
+                Some((_, n)) => *n += 1,
+                None => self.writer = Some((owner, 1)),
+            },
+        }
+    }
+
+    fn is_free(&self) -> bool {
+        self.readers.is_empty() && self.writer.is_none() && self.upgrading.is_none()
+    }
+}
+
+/// The lock manager service. Created with [`LockService::install`],
+/// registering on [`ports::LOCKS`].
+pub struct LockService {
+    inner: Mutex<HashMap<SysName, LockState>>,
+    cvar: Condvar,
+    /// Keeps the node's transport (and its receive loop) alive.
+    ratp: Mutex<Option<Arc<RatpNode>>>,
+}
+
+impl fmt::Debug for LockService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockService")
+            .field("locked_segments", &self.inner.lock().len())
+            .finish()
+    }
+}
+
+impl Default for LockService {
+    fn default() -> Self {
+        LockService {
+            inner: Mutex::new(HashMap::new()),
+            cvar: Condvar::new(),
+            ratp: Mutex::new(None),
+        }
+    }
+}
+
+impl LockService {
+    /// Create the service and register it on this node.
+    pub fn install(ratp: &Arc<RatpNode>) -> Arc<LockService> {
+        let service = Arc::new(LockService::default());
+        *service.ratp.lock() = Some(Arc::clone(ratp));
+        let handler = Arc::clone(&service);
+        ratp.register_service(ports::LOCKS, move |req: Request| {
+            let reply = match proto::decode::<LockRequest>(&req.payload) {
+                Ok(LockRequest::Acquire {
+                    seg,
+                    mode,
+                    owner,
+                    wait_ms,
+                }) => LockReply::Acquired(handler.acquire(
+                    seg,
+                    mode,
+                    owner,
+                    Duration::from_millis(wait_ms),
+                )),
+                Ok(LockRequest::Release { seg, owner }) => match handler.release(seg, owner) {
+                    Some(n) => LockReply::Released(n),
+                    None => LockReply::NotHeld,
+                },
+                Ok(LockRequest::ReleaseAll { owner }) => {
+                    LockReply::Released(handler.release_all(owner))
+                }
+                Err(_) => LockReply::NotHeld,
+            };
+            proto::encode(&reply)
+        });
+        service
+    }
+
+    /// Acquire `seg` in `mode` for `owner`, waiting up to `wait`.
+    ///
+    /// Re-entrant: an owner may acquire the same lock repeatedly (each
+    /// needs a matching release). An owner holding the only shared lock
+    /// may upgrade to exclusive.
+    pub fn acquire(&self, seg: SysName, mode: LockMode, owner: u64, wait: Duration) -> LockOutcome {
+        let deadline = Instant::now() + wait;
+        let mut inner = self.inner.lock();
+        // An upgrade (exclusive wanted while holding shared) can only be
+        // granted once every other reader drains; two concurrent
+        // upgraders on one segment therefore deadlock. Refuse the second
+        // immediately — it must abort, release its read lock and retry.
+        let is_upgrade = mode == LockMode::Exclusive
+            && inner
+                .get(&seg)
+                .is_some_and(|s| s.readers.contains_key(&owner));
+        if is_upgrade {
+            let state = inner.entry(seg).or_default();
+            match state.upgrading {
+                Some(other) if other != owner => return LockOutcome::Timeout,
+                _ => state.upgrading = Some(owner),
+            }
+        }
+        let outcome = loop {
+            let state = inner.entry(seg).or_default();
+            if state.can_grant(mode, owner) {
+                state.grant(mode, owner);
+                break LockOutcome::Granted;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break LockOutcome::Timeout;
+            }
+            if self
+                .cvar
+                .wait_until(&mut inner, deadline)
+                .timed_out()
+            {
+                // One more grant check after the deadline race.
+                let state = inner.entry(seg).or_default();
+                if state.can_grant(mode, owner) {
+                    state.grant(mode, owner);
+                    break LockOutcome::Granted;
+                }
+                break LockOutcome::Timeout;
+            }
+        };
+        if is_upgrade {
+            if let Some(state) = inner.get_mut(&seg) {
+                if state.upgrading == Some(owner) {
+                    state.upgrading = None;
+                }
+            }
+            self.cvar.notify_all();
+        }
+        outcome
+    }
+
+    /// Release one hold of `seg` by `owner` (writer holds release before
+    /// reader holds). Returns remaining hold count, or `None` if the
+    /// owner held nothing.
+    pub fn release(&self, seg: SysName, owner: u64) -> Option<u32> {
+        let mut inner = self.inner.lock();
+        let state = inner.get_mut(&seg)?;
+        let remaining = if let Some((w, n)) = &mut state.writer {
+            if *w == owner {
+                *n -= 1;
+                let rem = *n;
+                if rem == 0 {
+                    state.writer = None;
+                }
+                Some(rem)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let remaining = remaining.or_else(|| {
+            let n = state.readers.get_mut(&owner)?;
+            *n -= 1;
+            let rem = *n;
+            if rem == 0 {
+                state.readers.remove(&owner);
+            }
+            Some(rem)
+        });
+        if state.is_free() {
+            inner.remove(&seg);
+        }
+        if remaining.is_some() {
+            self.cvar.notify_all();
+        }
+        remaining
+    }
+
+    /// Release every hold by `owner`; returns the number of segments
+    /// affected.
+    pub fn release_all(&self, owner: u64) -> u32 {
+        let mut inner = self.inner.lock();
+        let mut affected = 0;
+        inner.retain(|_, state| {
+            let mut touched = false;
+            if matches!(state.writer, Some((w, _)) if w == owner) {
+                state.writer = None;
+                touched = true;
+            }
+            if state.readers.remove(&owner).is_some() {
+                touched = true;
+            }
+            if touched {
+                affected += 1;
+            }
+            !state.is_free()
+        });
+        if affected > 0 {
+            self.cvar.notify_all();
+        }
+        affected
+    }
+
+    /// Number of segments with at least one hold (diagnostics).
+    pub fn locked_count(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_millis(40);
+
+    fn seg(n: u64) -> SysName {
+        SysName::from_parts(1, n)
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let l = LockService::default();
+        assert_eq!(l.acquire(seg(1), LockMode::Shared, 1, T), LockOutcome::Granted);
+        assert_eq!(l.acquire(seg(1), LockMode::Shared, 2, T), LockOutcome::Granted);
+        assert_eq!(l.locked_count(), 1);
+    }
+
+    #[test]
+    fn exclusive_excludes_others() {
+        let l = LockService::default();
+        assert_eq!(l.acquire(seg(1), LockMode::Exclusive, 1, T), LockOutcome::Granted);
+        assert_eq!(l.acquire(seg(1), LockMode::Shared, 2, T), LockOutcome::Timeout);
+        assert_eq!(l.acquire(seg(1), LockMode::Exclusive, 2, T), LockOutcome::Timeout);
+        // Different segment is independent.
+        assert_eq!(l.acquire(seg(2), LockMode::Exclusive, 2, T), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn reentrancy_and_release_counts() {
+        let l = LockService::default();
+        l.acquire(seg(1), LockMode::Exclusive, 1, T);
+        l.acquire(seg(1), LockMode::Exclusive, 1, T);
+        assert_eq!(l.release(seg(1), 1), Some(1));
+        // Still held: others blocked.
+        assert_eq!(l.acquire(seg(1), LockMode::Shared, 2, T), LockOutcome::Timeout);
+        assert_eq!(l.release(seg(1), 1), Some(0));
+        assert_eq!(l.acquire(seg(1), LockMode::Shared, 2, T), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn sole_reader_can_upgrade() {
+        let l = LockService::default();
+        l.acquire(seg(1), LockMode::Shared, 1, T);
+        assert_eq!(l.acquire(seg(1), LockMode::Exclusive, 1, T), LockOutcome::Granted);
+        // With a second reader, upgrade fails.
+        let l2 = LockService::default();
+        l2.acquire(seg(1), LockMode::Shared, 1, T);
+        l2.acquire(seg(1), LockMode::Shared, 2, T);
+        assert_eq!(l2.acquire(seg(1), LockMode::Exclusive, 1, T), LockOutcome::Timeout);
+    }
+
+    #[test]
+    fn writer_may_also_read() {
+        let l = LockService::default();
+        l.acquire(seg(1), LockMode::Exclusive, 1, T);
+        assert_eq!(l.acquire(seg(1), LockMode::Shared, 1, T), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn release_not_held_is_none() {
+        let l = LockService::default();
+        assert_eq!(l.release(seg(1), 1), None);
+        l.acquire(seg(1), LockMode::Shared, 1, T);
+        assert_eq!(l.release(seg(1), 2), None);
+    }
+
+    #[test]
+    fn blocked_acquire_wakes_on_release() {
+        let l = Arc::new(LockService::default());
+        l.acquire(seg(1), LockMode::Exclusive, 1, Duration::ZERO);
+        let l2 = Arc::clone(&l);
+        let waiter = std::thread::spawn(move || {
+            l2.acquire(seg(1), LockMode::Exclusive, 2, Duration::from_secs(5))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        l.release(seg(1), 1);
+        assert_eq!(waiter.join().unwrap(), LockOutcome::Granted);
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let l = LockService::default();
+        l.acquire(seg(1), LockMode::Exclusive, 1, T);
+        l.acquire(seg(2), LockMode::Shared, 1, T);
+        l.acquire(seg(3), LockMode::Shared, 2, T);
+        assert_eq!(l.release_all(1), 2);
+        assert_eq!(l.acquire(seg(1), LockMode::Exclusive, 2, T), LockOutcome::Granted);
+        assert_eq!(l.acquire(seg(2), LockMode::Exclusive, 2, T), LockOutcome::Granted);
+        assert_eq!(l.release_all(99), 0);
+    }
+
+    #[test]
+    fn deadlock_times_out() {
+        // Two owners each hold one lock and want the other: the paper's
+        // timeout-based deadlock resolution must fire.
+        let l = Arc::new(LockService::default());
+        l.acquire(seg(1), LockMode::Exclusive, 1, T);
+        l.acquire(seg(2), LockMode::Exclusive, 2, T);
+        let l1 = Arc::clone(&l);
+        let t1 = std::thread::spawn(move || l1.acquire(seg(2), LockMode::Exclusive, 1, T));
+        let l2 = Arc::clone(&l);
+        let t2 = std::thread::spawn(move || l2.acquire(seg(1), LockMode::Exclusive, 2, T));
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(r1 == LockOutcome::Timeout || r2 == LockOutcome::Timeout);
+    }
+}

@@ -1,0 +1,256 @@
+//! Wire protocol between DSM clients and data servers.
+
+use clouds_ra::RaError;
+use clouds_ra::SysName;
+use serde::{Deserialize, Serialize};
+
+/// Well-known RaTP service ports used across the Clouds reproduction.
+pub mod ports {
+    /// DSM coherence service on data servers.
+    pub const DSM_SERVER: u16 = 10;
+    /// Recall/downgrade service on every DSM client (compute server).
+    pub const DSM_CLIENT: u16 = 11;
+    /// Segment-level lock manager on data servers.
+    pub const LOCKS: u16 = 12;
+    /// Distributed semaphore service on data servers.
+    pub const SEMAPHORES: u16 = 13;
+    /// Name server (see `clouds-naming`).
+    pub const NAMING: u16 = 14;
+    /// Object invocation service on compute servers (see `clouds`).
+    pub const INVOCATION: u16 = 15;
+    /// User I/O manager on workstations (see `clouds`).
+    pub const USER_IO: u16 = 16;
+    /// Two-phase-commit participant on data servers
+    /// (see `clouds-consistency`).
+    pub const COMMIT: u16 = 17;
+}
+
+/// Page access mode on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireMode {
+    /// Shared, read-only copy.
+    Read,
+    /// Exclusive, writable ownership.
+    Write,
+}
+
+/// Requests accepted by the data server's DSM service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DsmRequest {
+    /// Create a segment of `len` zero bytes on this data server.
+    CreateSegment {
+        /// New segment's sysname.
+        seg: SysName,
+        /// Size in bytes.
+        len: u64,
+    },
+    /// Destroy a segment.
+    DestroySegment {
+        /// Victim sysname.
+        seg: SysName,
+    },
+    /// Query a segment's length (also used for home discovery).
+    SegmentLen {
+        /// Segment sysname.
+        seg: SysName,
+    },
+    /// Demand-page one page in `mode`.
+    FetchPage {
+        /// Segment sysname.
+        seg: SysName,
+        /// Page index.
+        page: u32,
+        /// Requested coherence mode.
+        mode: WireMode,
+    },
+    /// Write a dirty page back; optionally drop ownership too.
+    WriteBack {
+        /// Segment sysname.
+        seg: SysName,
+        /// Page index.
+        page: u32,
+        /// Full page contents.
+        data: Vec<u8>,
+        /// Whether the client also relinquishes its copy.
+        release: bool,
+    },
+    /// Drop a (clean) copy without data.
+    ReleasePage {
+        /// Segment sysname.
+        seg: SysName,
+        /// Page index.
+        page: u32,
+    },
+    /// Acknowledge that a granted page is installed at the client, so
+    /// the manager may process the next transition for the page.
+    InstallAck {
+        /// Segment sysname.
+        seg: SysName,
+        /// Page index.
+        page: u32,
+        /// Grant sequence number being acknowledged.
+        grant_seq: u64,
+    },
+}
+
+/// Replies from the data server's DSM service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DsmReply {
+    /// Operation succeeded with no payload.
+    Ok,
+    /// Segment length.
+    Len(u64),
+    /// A page grant.
+    Page {
+        /// Full page contents.
+        data: Vec<u8>,
+        /// Canonical version counter.
+        version: u64,
+        /// Whether the page had never been written.
+        zero_filled: bool,
+        /// Grant sequence number to acknowledge after installing.
+        grant_seq: u64,
+    },
+    /// Operation failed.
+    Err(WireError),
+}
+
+/// Requests sent *by the data server* to a client's recall service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RecallRequest {
+    /// Invalidate the client's copy entirely.
+    Reclaim {
+        /// Segment sysname.
+        seg: SysName,
+        /// Page index.
+        page: u32,
+    },
+    /// Demote the client's exclusive copy to shared.
+    Downgrade {
+        /// Segment sysname.
+        seg: SysName,
+        /// Page index.
+        page: u32,
+    },
+}
+
+/// Replies from a client's recall service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RecallReply {
+    /// The client no longer holds the page.
+    NotPresent,
+    /// The copy was clean; it has been dropped/demoted.
+    Clean,
+    /// The copy was dirty; here is the latest data.
+    Dirty(Vec<u8>),
+}
+
+/// Serializable projection of [`RaError`] for the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireError {
+    /// See [`RaError::SegmentNotFound`].
+    SegmentNotFound(SysName),
+    /// See [`RaError::SegmentExists`].
+    SegmentExists(SysName),
+    /// See [`RaError::OutOfRange`].
+    OutOfRange(SysName),
+    /// Any other failure, described as text.
+    Other(String),
+}
+
+impl From<RaError> for WireError {
+    fn from(e: RaError) -> WireError {
+        match e {
+            RaError::SegmentNotFound(s) => WireError::SegmentNotFound(s),
+            RaError::SegmentExists(s) => WireError::SegmentExists(s),
+            RaError::OutOfRange { segment, .. } => WireError::OutOfRange(segment),
+            other => WireError::Other(other.to_string()),
+        }
+    }
+}
+
+impl From<WireError> for RaError {
+    fn from(e: WireError) -> RaError {
+        match e {
+            WireError::SegmentNotFound(s) => RaError::SegmentNotFound(s),
+            WireError::SegmentExists(s) => RaError::SegmentExists(s),
+            WireError::OutOfRange(segment) => RaError::OutOfRange {
+                segment,
+                offset: 0,
+                len: 0,
+                segment_len: 0,
+            },
+            WireError::Other(m) => RaError::PartitionUnavailable(m),
+        }
+    }
+}
+
+/// Encode any serializable message for transmission.
+///
+/// # Panics
+///
+/// Panics only if the value cannot be encoded, which is impossible for
+/// the closed set of protocol types in this module.
+pub fn encode<T: Serialize>(value: &T) -> bytes::Bytes {
+    bytes::Bytes::from(clouds_codec::to_bytes(value).expect("protocol types always encode"))
+}
+
+/// Decode a protocol message, mapping malformed input to an error reply.
+///
+/// # Errors
+///
+/// Returns `RaError::PartitionUnavailable` describing the decode failure.
+pub fn decode<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, RaError> {
+    clouds_codec::from_bytes(bytes)
+        .map_err(|e| RaError::PartitionUnavailable(format!("malformed protocol message: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = DsmRequest::FetchPage {
+            seg: SysName::from_parts(1, 2),
+            page: 7,
+            mode: WireMode::Write,
+        };
+        let bytes = encode(&req);
+        let back: DsmRequest = decode(&bytes).unwrap();
+        match back {
+            DsmRequest::FetchPage { seg, page, mode } => {
+                assert_eq!(seg, SysName::from_parts(1, 2));
+                assert_eq!(page, 7);
+                assert_eq!(mode, WireMode::Write);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_with_page_roundtrip() {
+        let reply = DsmReply::Page {
+            data: vec![1, 2, 3],
+            version: 9,
+            zero_filled: false,
+            grant_seq: 4,
+        };
+        let back: DsmReply = decode(&encode(&reply)).unwrap();
+        assert!(matches!(back, DsmReply::Page { version: 9, .. }));
+    }
+
+    #[test]
+    fn error_mapping_roundtrip() {
+        let e = RaError::SegmentNotFound(SysName::from_parts(3, 4));
+        let w: WireError = e.clone().into();
+        let back: RaError = w.into();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn decode_garbage_is_error_not_panic() {
+        let r: Result<DsmRequest, _> = decode(&[0xFF, 0xFE, 0xFD]);
+        assert!(r.is_err());
+    }
+}

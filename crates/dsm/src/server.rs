@@ -1,0 +1,643 @@
+//! The data-server side of DSM: canonical storage plus the coherence
+//! directory (§4.2 "DSM Clients and Servers").
+//!
+//! "When a page of data is needed at node A, the DSM client partition
+//! requests it from the data server. If the page is currently in use in
+//! exclusive mode at node B, the data server forwards the request to the
+//! DSM server at node B, which supplies the page to A."
+//!
+//! The protocol is a centralized-manager invalidation protocol in the
+//! Li–Hudak style, managed per page by the data server that homes the
+//! segment:
+//!
+//! * **read fault** — any exclusive copy is downgraded (its dirty data
+//!   written through), then a shared copy is granted.
+//! * **write fault** — every other copy is recalled (invalidated), dirty
+//!   data written through, then exclusive ownership is granted.
+//! * **write-back / release** — clients flush or drop copies; the
+//!   directory is updated without blocking in-flight transitions (this
+//!   non-blocking property is what makes eviction during a concurrent
+//!   recall deadlock-free).
+
+use crate::proto::{
+    self, ports, DsmReply, DsmRequest, RecallReply, RecallRequest, WireMode,
+};
+use clouds_ra::{RaError, SegmentStore, SysName};
+use clouds_ratp::{RatpNode, Request};
+use clouds_simnet::NodeId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Retransmission budget for recall calls; a client that does not answer
+/// within this budget is treated as crashed and its copy forgotten.
+const RECALL_RETRIES: u32 = 40;
+
+/// How long a transition waits for a grantee's install acknowledgement
+/// before assuming the grantee died with the grant in flight.
+const ACK_DEADLINE: Duration = Duration::from_millis(1000);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Coherence {
+    Idle,
+    Shared(HashSet<NodeId>),
+    Exclusive(NodeId),
+}
+
+#[derive(Debug)]
+struct PageEntry {
+    state: Coherence,
+    /// A coherence transition is running.
+    busy: bool,
+    /// A grant is awaiting its install acknowledgement:
+    /// (grantee, grant sequence, deadline for the ack).
+    awaiting_ack: Option<(NodeId, u64, std::time::Instant)>,
+}
+
+#[derive(Default)]
+struct Directory {
+    pages: HashMap<(SysName, u32), PageEntry>,
+}
+
+/// Traffic counters for the coherence protocol (experiment E4 reports
+/// these as "page migrations").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DsmServerStats {
+    /// Shared-copy grants served.
+    pub read_grants: u64,
+    /// Exclusive grants served.
+    pub write_grants: u64,
+    /// Copies invalidated at other nodes on behalf of writers.
+    pub invalidations: u64,
+    /// Exclusive copies demoted to shared on behalf of readers.
+    pub downgrades: u64,
+    /// Dirty pages written through to the canonical store.
+    pub write_backs: u64,
+    /// Install acknowledgements that never arrived (dead grantees or
+    /// callers that bypassed the ack protocol — a bug if nonzero in a
+    /// healthy run).
+    pub ack_timeouts: u64,
+}
+
+/// A data server's DSM service.
+///
+/// Owns the canonical [`SegmentStore`] — the only durable copy of every
+/// segment it homes — and the per-page coherence directory. Created with
+/// [`DsmServer::install`], which registers the service on
+/// [`ports::DSM_SERVER`].
+pub struct DsmServer {
+    ratp: Arc<RatpNode>,
+    store: SegmentStore,
+    directory: Mutex<Directory>,
+    busy_cvar: Condvar,
+    read_grants: AtomicU64,
+    write_grants: AtomicU64,
+    invalidations: AtomicU64,
+    downgrades: AtomicU64,
+    write_backs: AtomicU64,
+    grant_seq: AtomicU64,
+    ack_timeouts: AtomicU64,
+}
+
+impl fmt::Debug for DsmServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DsmServer")
+            .field("node", &self.ratp.node_id())
+            .field("segments", &self.store.len())
+            .finish()
+    }
+}
+
+impl DsmServer {
+    /// Create the server over a fresh store and register its RaTP
+    /// service.
+    pub fn install(ratp: &Arc<RatpNode>) -> Arc<DsmServer> {
+        DsmServer::install_with_store(ratp, SegmentStore::new())
+    }
+
+    /// Like [`DsmServer::install`] but over an existing store — used
+    /// when a crashed data server restarts with its surviving disk.
+    pub fn install_with_store(ratp: &Arc<RatpNode>, store: SegmentStore) -> Arc<DsmServer> {
+        let server = Arc::new(DsmServer {
+            ratp: Arc::clone(ratp),
+            store,
+            directory: Mutex::new(Directory::default()),
+            busy_cvar: Condvar::new(),
+            read_grants: AtomicU64::new(0),
+            write_grants: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            downgrades: AtomicU64::new(0),
+            write_backs: AtomicU64::new(0),
+            grant_seq: AtomicU64::new(1),
+            ack_timeouts: AtomicU64::new(0),
+        });
+        let handler = Arc::clone(&server);
+        ratp.register_service(ports::DSM_SERVER, move |req: Request| {
+            let reply = match proto::decode::<DsmRequest>(&req.payload) {
+                Ok(message) => handler.handle(req.src, message),
+                Err(e) => DsmReply::Err(e.into()),
+            };
+            proto::encode(&reply)
+        });
+        server
+    }
+
+    /// The canonical segment store (shared with co-located services such
+    /// as the 2PC participant).
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    /// The node this server runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.ratp.node_id()
+    }
+
+    /// Snapshot of protocol counters.
+    pub fn stats(&self) -> DsmServerStats {
+        DsmServerStats {
+            read_grants: self.read_grants.load(Ordering::Relaxed),
+            write_grants: self.write_grants.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            downgrades: self.downgrades.load(Ordering::Relaxed),
+            write_backs: self.write_backs.load(Ordering::Relaxed),
+            ack_timeouts: self.ack_timeouts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Coherently install a page image: recalls every cached copy at
+    /// other nodes, then writes the data to the canonical store. Used by
+    /// the two-phase-commit participant to make committed cp-thread
+    /// updates visible with one-copy semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors (unknown segment, bad page).
+    pub fn commit_page(&self, seg: SysName, page: u32, data: &[u8]) -> clouds_ra::Result<u64> {
+        let key = (seg, page);
+        let state = self.begin_transition(key);
+        match state {
+            Coherence::Exclusive(owner) => {
+                // Any dirty data at the owner loses to the committed
+                // image: the commit holds the write lock, so a correct
+                // cp/s-thread mix cannot produce a competing dirty copy.
+                let _ = self.recall(owner, RecallRequest::Reclaim { seg, page });
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
+            Coherence::Shared(set) => {
+                for holder in set {
+                    let _ = self.recall(holder, RecallRequest::Reclaim { seg, page });
+                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Coherence::Idle => {}
+        }
+        let result = (|| {
+            let segment = self.store.get(seg)?;
+            let version = segment.write().write_page(page, data)?;
+            self.write_backs.fetch_add(1, Ordering::Relaxed);
+            Ok(version)
+        })();
+        self.end_transition(key, Coherence::Idle);
+        result
+    }
+
+    /// Forget all coherence state (crash simulation: the directory is
+    /// volatile, the store is not).
+    pub fn clear_directory(&self) {
+        self.directory.lock().pages.clear();
+        self.busy_cvar.notify_all();
+    }
+
+    fn handle(&self, src: NodeId, req: DsmRequest) -> DsmReply {
+        match req {
+            DsmRequest::CreateSegment { seg, len } => match self.store.create(seg, len) {
+                Ok(()) => DsmReply::Ok,
+                Err(e) => DsmReply::Err(e.into()),
+            },
+            DsmRequest::DestroySegment { seg } => match self.store.destroy(seg) {
+                Ok(()) => {
+                    self.directory.lock().pages.retain(|(s, _), _| *s != seg);
+                    DsmReply::Ok
+                }
+                Err(e) => DsmReply::Err(e.into()),
+            },
+            DsmRequest::SegmentLen { seg } => match self.store.get(seg) {
+                Ok(s) => DsmReply::Len(s.read().len()),
+                Err(e) => DsmReply::Err(e.into()),
+            },
+            DsmRequest::FetchPage { seg, page, mode } => self.fetch(src, seg, page, mode),
+            DsmRequest::WriteBack {
+                seg,
+                page,
+                data,
+                release,
+            } => self.write_back(src, seg, page, &data, release),
+            DsmRequest::ReleasePage { seg, page } => {
+                self.forget_copy(src, seg, page);
+                DsmReply::Ok
+            }
+            DsmRequest::InstallAck {
+                seg,
+                page,
+                grant_seq,
+            } => {
+                self.handle_install_ack(src, seg, page, grant_seq);
+                DsmReply::Ok
+            }
+        }
+    }
+
+    /// Serialize coherence transitions per page: acquire the busy flag,
+    /// also waiting out any unacknowledged previous grant (otherwise a
+    /// recall could reach the grantee before the granted frame is
+    /// installed and wrongly conclude the copy does not exist).
+    fn begin_transition(&self, key: (SysName, u32)) -> Coherence {
+        let mut dir = self.directory.lock();
+        loop {
+            let entry = dir.pages.entry(key).or_insert(PageEntry {
+                state: Coherence::Idle,
+                busy: false,
+                awaiting_ack: None,
+            });
+            if !entry.busy {
+                match entry.awaiting_ack {
+                    None => {
+                        entry.busy = true;
+                        return entry.state.clone();
+                    }
+                    Some((_, _, deadline)) if Instant::now() >= deadline => {
+                        // Grantee never confirmed: assume it crashed with
+                        // the grant in flight; its copy is gone.
+                        self.ack_timeouts.fetch_add(1, Ordering::Relaxed);
+                        entry.awaiting_ack = None;
+                        entry.busy = true;
+                        return entry.state.clone();
+                    }
+                    Some((_, _, deadline)) => {
+                        let _ = self.busy_cvar.wait_until(&mut dir, deadline);
+                        continue;
+                    }
+                }
+            }
+            self.busy_cvar.wait(&mut dir);
+        }
+    }
+
+    fn end_transition(&self, key: (SysName, u32), new_state: Coherence) {
+        let mut dir = self.directory.lock();
+        if let Some(entry) = dir.pages.get_mut(&key) {
+            // A voluntary release/write-back may have mutated the state
+            // while we were recalling; the transition's outcome wins,
+            // because recalls observed (or outwaited) those copies.
+            entry.state = new_state;
+            entry.busy = false;
+        }
+        self.busy_cvar.notify_all();
+    }
+
+    /// Finish a transition that granted a page to `grantee`: the next
+    /// transition for this page must wait for the install ack.
+    fn end_transition_granted(
+        &self,
+        key: (SysName, u32),
+        new_state: Coherence,
+        grantee: NodeId,
+        grant_seq: u64,
+    ) {
+        let mut dir = self.directory.lock();
+        if let Some(entry) = dir.pages.get_mut(&key) {
+            entry.state = new_state;
+            entry.busy = false;
+            entry.awaiting_ack = Some((grantee, grant_seq, Instant::now() + ACK_DEADLINE));
+        }
+        self.busy_cvar.notify_all();
+    }
+
+    fn handle_install_ack(&self, src: NodeId, seg: SysName, page: u32, grant_seq: u64) {
+        let mut dir = self.directory.lock();
+        if let Some(entry) = dir.pages.get_mut(&(seg, page)) {
+            if let Some((node, seq, _)) = entry.awaiting_ack {
+                if node == src && seq == grant_seq {
+                    entry.awaiting_ack = None;
+                }
+            }
+        }
+        self.busy_cvar.notify_all();
+    }
+
+    fn fetch(&self, src: NodeId, seg: SysName, page: u32, mode: WireMode) -> DsmReply {
+        // Validate before touching coherence state.
+        if let Err(e) = self.store.get(seg) {
+            return DsmReply::Err(e.into());
+        }
+        let key = (seg, page);
+        let state = self.begin_transition(key);
+
+        let new_state = match (mode, state) {
+            (WireMode::Read, Coherence::Exclusive(owner)) if owner != src => {
+                match self.recall(owner, RecallRequest::Downgrade { seg, page }) {
+                    RecallReply::Dirty(data) => {
+                        self.apply_write_back(seg, page, &data);
+                        self.downgrades.fetch_add(1, Ordering::Relaxed);
+                        Coherence::Shared(HashSet::from([owner, src]))
+                    }
+                    RecallReply::Clean => {
+                        self.downgrades.fetch_add(1, Ordering::Relaxed);
+                        Coherence::Shared(HashSet::from([owner, src]))
+                    }
+                    RecallReply::NotPresent => Coherence::Shared(HashSet::from([src])),
+                }
+            }
+            (WireMode::Read, Coherence::Exclusive(_owner)) => {
+                // Re-fetch by the owner itself (e.g. after dropping its
+                // frame); demote to shared.
+                Coherence::Shared(HashSet::from([src]))
+            }
+            (WireMode::Read, Coherence::Shared(mut set)) => {
+                set.insert(src);
+                Coherence::Shared(set)
+            }
+            (WireMode::Read, Coherence::Idle) => Coherence::Shared(HashSet::from([src])),
+            (WireMode::Write, Coherence::Exclusive(owner)) if owner != src => {
+                match self.recall(owner, RecallRequest::Reclaim { seg, page }) {
+                    RecallReply::Dirty(data) => {
+                        self.apply_write_back(seg, page, &data);
+                        self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    RecallReply::Clean => {
+                        self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    RecallReply::NotPresent => {}
+                }
+                Coherence::Exclusive(src)
+            }
+            (WireMode::Write, Coherence::Exclusive(_owner)) => Coherence::Exclusive(src),
+            (WireMode::Write, Coherence::Shared(set)) => {
+                for holder in set {
+                    if holder == src {
+                        continue;
+                    }
+                    match self.recall(holder, RecallRequest::Reclaim { seg, page }) {
+                        RecallReply::Dirty(data) => {
+                            // Shared copies are clean by protocol, but be
+                            // liberal in what we accept.
+                            self.apply_write_back(seg, page, &data);
+                            self.invalidations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        RecallReply::Clean => {
+                            self.invalidations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        RecallReply::NotPresent => {}
+                    }
+                }
+                Coherence::Exclusive(src)
+            }
+            (WireMode::Write, Coherence::Idle) => Coherence::Exclusive(src),
+        };
+
+        let grant_seq = self.grant_seq.fetch_add(1, Ordering::Relaxed);
+        let reply = match self.read_canonical(seg, page, grant_seq) {
+            Ok(reply) => {
+                match mode {
+                    WireMode::Read => self.read_grants.fetch_add(1, Ordering::Relaxed),
+                    WireMode::Write => self.write_grants.fetch_add(1, Ordering::Relaxed),
+                };
+                reply
+            }
+            Err(e) => {
+                self.end_transition(key, Coherence::Idle);
+                return DsmReply::Err(e.into());
+            }
+        };
+        self.end_transition_granted(key, new_state, src, grant_seq);
+        reply
+    }
+
+    fn read_canonical(&self, seg: SysName, page: u32, grant_seq: u64) -> Result<DsmReply, RaError> {
+        let segment = self.store.get(seg)?;
+        let segment = segment.read();
+        let zero_filled = !segment.is_page_materialized(page);
+        let data = segment.read_page(page)?;
+        Ok(DsmReply::Page {
+            data,
+            version: segment.page_version(page),
+            zero_filled,
+            grant_seq,
+        })
+    }
+
+    /// Ask `holder` to give up (or demote) its copy. A dead or
+    /// unreachable holder is treated as holding nothing: its volatile
+    /// copy died with it.
+    fn recall(&self, holder: NodeId, req: RecallRequest) -> RecallReply {
+        match self.ratp.call_with_budget(
+            holder,
+            ports::DSM_CLIENT,
+            proto::encode(&req),
+            RECALL_RETRIES,
+        ) {
+            Ok(reply) => proto::decode(&reply).unwrap_or(RecallReply::NotPresent),
+            Err(_) => RecallReply::NotPresent,
+        }
+    }
+
+    fn apply_write_back(&self, seg: SysName, page: u32, data: &[u8]) {
+        if let Ok(segment) = self.store.get(seg) {
+            if segment.write().write_page(page, data).is_ok() {
+                self.write_backs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Note: deliberately does *not* take the busy flag — see the module
+    /// docs on deadlock freedom.
+    fn write_back(
+        &self,
+        src: NodeId,
+        seg: SysName,
+        page: u32,
+        data: &[u8],
+        release: bool,
+    ) -> DsmReply {
+        match self.store.get(seg) {
+            Ok(segment) => {
+                if let Err(e) = segment.write().write_page(page, data) {
+                    return DsmReply::Err(e.into());
+                }
+                self.write_backs.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => return DsmReply::Err(e.into()),
+        }
+        if release {
+            self.forget_copy(src, seg, page);
+        }
+        DsmReply::Ok
+    }
+
+    fn forget_copy(&self, src: NodeId, seg: SysName, page: u32) {
+        let mut dir = self.directory.lock();
+        if let Some(entry) = dir.pages.get_mut(&(seg, page)) {
+            match &mut entry.state {
+                Coherence::Exclusive(owner) if *owner == src => {
+                    entry.state = Coherence::Idle;
+                }
+                Coherence::Shared(set) => {
+                    set.remove(&src);
+                    if set.is_empty() {
+                        entry.state = Coherence::Idle;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clouds_ratp::RatpConfig;
+    use clouds_simnet::{CostModel, Network};
+
+    fn server() -> (Network, Arc<DsmServer>, Arc<RatpNode>) {
+        let net = Network::new(CostModel::zero());
+        let ds = RatpNode::spawn(net.register(NodeId(10)).unwrap(), RatpConfig::default());
+        let server = DsmServer::install(&ds);
+        let client = RatpNode::spawn(net.register(NodeId(1)).unwrap(), RatpConfig::default());
+        (net, server, client)
+    }
+
+    fn call(client: &RatpNode, req: &DsmRequest) -> DsmReply {
+        let reply = client
+            .call(NodeId(10), ports::DSM_SERVER, proto::encode(req))
+            .unwrap();
+        proto::decode(&reply).unwrap()
+    }
+
+    #[test]
+    fn create_len_destroy_over_the_wire() {
+        let (_net, _server, client) = server();
+        let seg = SysName::from_parts(1, 1);
+        assert!(matches!(
+            call(&client, &DsmRequest::CreateSegment { seg, len: 100 }),
+            DsmReply::Ok
+        ));
+        assert!(matches!(
+            call(&client, &DsmRequest::SegmentLen { seg }),
+            DsmReply::Len(100)
+        ));
+        assert!(matches!(
+            call(&client, &DsmRequest::CreateSegment { seg, len: 5 }),
+            DsmReply::Err(crate::proto::WireError::SegmentExists(_))
+        ));
+        assert!(matches!(
+            call(&client, &DsmRequest::DestroySegment { seg }),
+            DsmReply::Ok
+        ));
+        assert!(matches!(
+            call(&client, &DsmRequest::SegmentLen { seg }),
+            DsmReply::Err(crate::proto::WireError::SegmentNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn fetch_grants_and_counts() {
+        let (_net, server, client) = server();
+        let seg = SysName::from_parts(1, 2);
+        call(
+            &client,
+            &DsmRequest::CreateSegment {
+                seg,
+                len: clouds_ra::PAGE_SIZE as u64,
+            },
+        );
+        let reply = call(
+            &client,
+            &DsmRequest::FetchPage {
+                seg,
+                page: 0,
+                mode: WireMode::Read,
+            },
+        );
+        match reply {
+            DsmReply::Page {
+                data, zero_filled, ..
+            } => {
+                assert_eq!(data.len(), clouds_ra::PAGE_SIZE);
+                assert!(zero_filled);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(server.stats().read_grants, 1);
+    }
+
+    #[test]
+    fn write_back_persists() {
+        let (_net, server, client) = server();
+        let seg = SysName::from_parts(1, 3);
+        call(
+            &client,
+            &DsmRequest::CreateSegment {
+                seg,
+                len: clouds_ra::PAGE_SIZE as u64,
+            },
+        );
+        let mut page = vec![0u8; clouds_ra::PAGE_SIZE];
+        page[..5].copy_from_slice(b"hello");
+        assert!(matches!(
+            call(
+                &client,
+                &DsmRequest::WriteBack {
+                    seg,
+                    page: 0,
+                    data: page,
+                    release: true
+                }
+            ),
+            DsmReply::Ok
+        ));
+        let stored = server.store().get(seg).unwrap().read().read(0, 5).unwrap();
+        assert_eq!(&stored, b"hello");
+        assert_eq!(server.stats().write_backs, 1);
+    }
+
+    #[test]
+    fn fetch_of_unknown_segment_is_error() {
+        let (_net, _server, client) = server();
+        let reply = call(
+            &client,
+            &DsmRequest::FetchPage {
+                seg: SysName::from_parts(9, 9),
+                page: 0,
+                mode: WireMode::Read,
+            },
+        );
+        assert!(matches!(
+            reply,
+            DsmReply::Err(crate::proto::WireError::SegmentNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_page_is_error() {
+        let (_net, _server, client) = server();
+        let seg = SysName::from_parts(1, 4);
+        call(&client, &DsmRequest::CreateSegment { seg, len: 10 });
+        let reply = call(
+            &client,
+            &DsmRequest::FetchPage {
+                seg,
+                page: 5,
+                mode: WireMode::Read,
+            },
+        );
+        assert!(matches!(
+            reply,
+            DsmReply::Err(crate::proto::WireError::OutOfRange(_))
+        ));
+    }
+}

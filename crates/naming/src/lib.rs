@@ -1,0 +1,400 @@
+//! `clouds-naming` — the Clouds name server.
+//!
+//! §2.1: "Users can define high-level names for objects. These are
+//! translated to sysnames using a name server." §2.4 shows the usage:
+//! `rect.bind("Rect01")` performs a "call to name server, binds sysname
+//! to Rect01".
+//!
+//! The name server is deliberately *not* part of the kernel: naming is a
+//! "non-critical service … implemented as user objects to complete the
+//! functionality of Clouds" (§4). Here it is a small RaTP service
+//! ([`NameServer`]) plus a client stub ([`NameClient`]) used by the
+//! Clouds shell and by `rect.bind(...)`-style code.
+//!
+//! # Examples
+//!
+//! ```
+//! use clouds_naming::{NameClient, NameServer};
+//! use clouds_ra::SysName;
+//! use clouds_ratp::{RatpConfig, RatpNode};
+//! use clouds_simnet::{CostModel, Network, NodeId};
+//!
+//! let net = Network::new(CostModel::zero());
+//! let server_node = RatpNode::spawn(net.register(NodeId(1)).unwrap(), RatpConfig::default());
+//! let _server = NameServer::install(&server_node);
+//!
+//! let client_node = RatpNode::spawn(net.register(NodeId(2)).unwrap(), RatpConfig::default());
+//! let names = NameClient::new(&client_node, NodeId(1));
+//!
+//! let rect01 = SysName::from_parts(2, 77);
+//! names.register("Rect01", rect01).unwrap();
+//! assert_eq!(names.lookup("Rect01").unwrap(), rect01);
+//! ```
+
+use clouds_ra::SysName;
+use clouds_ratp::{CallError, RatpNode, Request};
+use clouds_simnet::NodeId;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// RaTP port of the name service (shared constant with `clouds-dsm`'s
+/// port registry).
+pub const NAMING_PORT: u16 = 14;
+
+/// Requests accepted by the name server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum NameRequest {
+    /// Bind `name` to `sysname`; fails if already bound.
+    Register {
+        /// High-level user name.
+        name: String,
+        /// Target sysname.
+        sysname: SysName,
+    },
+    /// Translate a user name to its sysname.
+    Lookup {
+        /// High-level user name.
+        name: String,
+    },
+    /// Remove a binding.
+    Unregister {
+        /// High-level user name.
+        name: String,
+    },
+    /// Enumerate bindings with a given prefix (the shell's `ls`).
+    List {
+        /// Name prefix; empty string lists everything.
+        prefix: String,
+    },
+}
+
+/// Replies from the name server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum NameReply {
+    /// Operation succeeded with no payload.
+    Ok,
+    /// Lookup result.
+    Sysname(SysName),
+    /// Listing result.
+    Names(Vec<(String, SysName)>),
+    /// The name is not bound.
+    NotFound,
+    /// Register of an already-bound name.
+    AlreadyBound,
+    /// Malformed request.
+    Bad,
+}
+
+/// Errors surfaced by [`NameClient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NameError {
+    /// The name is not bound.
+    NotFound(String),
+    /// Register of an already-bound name.
+    AlreadyBound(String),
+    /// The name server is unreachable.
+    Unavailable(String),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::NotFound(n) => write!(f, "name {n:?} is not bound"),
+            NameError::AlreadyBound(n) => write!(f, "name {n:?} is already bound"),
+            NameError::Unavailable(m) => write!(f, "name server unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// The name server: a flat, ordered map of user names to sysnames.
+pub struct NameServer {
+    bindings: RwLock<BTreeMap<String, SysName>>,
+    /// Keeps the node's transport (and its receive loop) alive for as
+    /// long as the service exists.
+    _ratp: RwLock<Option<Arc<RatpNode>>>,
+}
+
+impl fmt::Debug for NameServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NameServer")
+            .field("bindings", &self.bindings.read().len())
+            .finish()
+    }
+}
+
+impl Default for NameServer {
+    fn default() -> Self {
+        NameServer {
+            bindings: RwLock::new(BTreeMap::new()),
+            _ratp: RwLock::new(None),
+        }
+    }
+}
+
+impl NameServer {
+    /// Create the server and register its RaTP service on this node.
+    pub fn install(ratp: &Arc<RatpNode>) -> Arc<NameServer> {
+        let server = Arc::new(NameServer::default());
+        *server._ratp.write() = Some(Arc::clone(ratp));
+        let handler = Arc::clone(&server);
+        ratp.register_service(NAMING_PORT, move |req: Request| {
+            let reply = match clouds_codec::from_bytes::<NameRequest>(&req.payload) {
+                Ok(message) => handler.handle(message),
+                Err(_) => NameReply::Bad,
+            };
+            bytes::Bytes::from(clouds_codec::to_bytes(&reply).expect("reply encodes"))
+        });
+        server
+    }
+
+    fn handle(&self, req: NameRequest) -> NameReply {
+        match req {
+            NameRequest::Register { name, sysname } => {
+                let mut b = self.bindings.write();
+                if b.contains_key(&name) {
+                    NameReply::AlreadyBound
+                } else {
+                    b.insert(name, sysname);
+                    NameReply::Ok
+                }
+            }
+            NameRequest::Lookup { name } => match self.bindings.read().get(&name) {
+                Some(s) => NameReply::Sysname(*s),
+                None => NameReply::NotFound,
+            },
+            NameRequest::Unregister { name } => match self.bindings.write().remove(&name) {
+                Some(_) => NameReply::Ok,
+                None => NameReply::NotFound,
+            },
+            NameRequest::List { prefix } => NameReply::Names(
+                self.bindings
+                    .read()
+                    .range(prefix.clone()..)
+                    .take_while(|(k, _)| k.starts_with(&prefix))
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Number of bindings (diagnostics).
+    pub fn len(&self) -> usize {
+        self.bindings.read().len()
+    }
+
+    /// Whether the server holds no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.read().is_empty()
+    }
+}
+
+/// Client stub for the name server.
+#[derive(Clone)]
+pub struct NameClient {
+    ratp: Arc<RatpNode>,
+    server: NodeId,
+}
+
+impl fmt::Debug for NameClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NameClient")
+            .field("server", &self.server)
+            .finish()
+    }
+}
+
+impl NameClient {
+    /// A client that talks to the name server on `server`.
+    pub fn new(ratp: &Arc<RatpNode>, server: NodeId) -> NameClient {
+        NameClient {
+            ratp: Arc::clone(ratp),
+            server,
+        }
+    }
+
+    fn call(&self, req: &NameRequest) -> Result<NameReply, NameError> {
+        let payload =
+            bytes::Bytes::from(clouds_codec::to_bytes(req).expect("request encodes"));
+        match self.ratp.call(self.server, NAMING_PORT, payload) {
+            Ok(bytes) => clouds_codec::from_bytes(&bytes)
+                .map_err(|e| NameError::Unavailable(format!("bad reply: {e}"))),
+            Err(CallError::TimedOut) => {
+                Err(NameError::Unavailable("name server timed out".into()))
+            }
+            Err(e) => Err(NameError::Unavailable(e.to_string())),
+        }
+    }
+
+    /// Bind a user name to a sysname.
+    ///
+    /// # Errors
+    ///
+    /// [`NameError::AlreadyBound`] if taken, [`NameError::Unavailable`]
+    /// on transport failure.
+    pub fn register(&self, name: &str, sysname: SysName) -> Result<(), NameError> {
+        match self.call(&NameRequest::Register {
+            name: name.to_string(),
+            sysname,
+        })? {
+            NameReply::Ok => Ok(()),
+            NameReply::AlreadyBound => Err(NameError::AlreadyBound(name.to_string())),
+            other => Err(NameError::Unavailable(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Translate a user name to its sysname (the `bind` of §2.4).
+    ///
+    /// # Errors
+    ///
+    /// [`NameError::NotFound`] if unbound, [`NameError::Unavailable`]
+    /// on transport failure.
+    pub fn lookup(&self, name: &str) -> Result<SysName, NameError> {
+        match self.call(&NameRequest::Lookup {
+            name: name.to_string(),
+        })? {
+            NameReply::Sysname(s) => Ok(s),
+            NameReply::NotFound => Err(NameError::NotFound(name.to_string())),
+            other => Err(NameError::Unavailable(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Remove a binding.
+    ///
+    /// # Errors
+    ///
+    /// [`NameError::NotFound`] if unbound, [`NameError::Unavailable`]
+    /// on transport failure.
+    pub fn unregister(&self, name: &str) -> Result<(), NameError> {
+        match self.call(&NameRequest::Unregister {
+            name: name.to_string(),
+        })? {
+            NameReply::Ok => Ok(()),
+            NameReply::NotFound => Err(NameError::NotFound(name.to_string())),
+            other => Err(NameError::Unavailable(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// List bindings whose names start with `prefix`.
+    ///
+    /// # Errors
+    ///
+    /// [`NameError::Unavailable`] on transport failure.
+    pub fn list(&self, prefix: &str) -> Result<Vec<(String, SysName)>, NameError> {
+        match self.call(&NameRequest::List {
+            prefix: prefix.to_string(),
+        })? {
+            NameReply::Names(names) => Ok(names),
+            other => Err(NameError::Unavailable(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clouds_ratp::RatpConfig;
+    use clouds_simnet::{CostModel, Network};
+
+    fn bed() -> (Network, Arc<NameServer>, NameClient) {
+        let net = Network::new(CostModel::zero());
+        let sn = RatpNode::spawn(net.register(NodeId(1)).unwrap(), RatpConfig::default());
+        let server = NameServer::install(&sn);
+        let cn = RatpNode::spawn(net.register(NodeId(2)).unwrap(), RatpConfig::default());
+        let client = NameClient::new(&cn, NodeId(1));
+        (net, server, client)
+    }
+
+    fn s(n: u64) -> SysName {
+        SysName::from_parts(5, n)
+    }
+
+    #[test]
+    fn register_lookup_unregister() {
+        let (_net, server, client) = bed();
+        client.register("Rect01", s(1)).unwrap();
+        assert_eq!(client.lookup("Rect01").unwrap(), s(1));
+        assert_eq!(server.len(), 1);
+        client.unregister("Rect01").unwrap();
+        assert!(matches!(
+            client.lookup("Rect01"),
+            Err(NameError::NotFound(_))
+        ));
+        assert!(server.is_empty());
+    }
+
+    #[test]
+    fn double_register_rejected() {
+        let (_net, _server, client) = bed();
+        client.register("X", s(1)).unwrap();
+        assert!(matches!(
+            client.register("X", s(2)),
+            Err(NameError::AlreadyBound(_))
+        ));
+        // Original binding intact.
+        assert_eq!(client.lookup("X").unwrap(), s(1));
+    }
+
+    #[test]
+    fn unregister_missing_is_not_found() {
+        let (_net, _server, client) = bed();
+        assert!(matches!(
+            client.unregister("ghost"),
+            Err(NameError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn service_keeps_transport_alive() {
+        // Regression test: `bed()` drops its local Arc<RatpNode>; the
+        // NameServer must keep the transport's receive loop alive, even
+        // when the first call arrives much later.
+        for i in 0..3 {
+            let (_net, _server, client) = bed();
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            client
+                .register("probe", s(1))
+                .unwrap_or_else(|e| panic!("bed {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let (_net, _server, client) = bed();
+        client.register("app/a", s(1)).unwrap();
+        client.register("app/b", s(2)).unwrap();
+        client.register("sys/x", s(3)).unwrap();
+        let apps = client.list("app/").unwrap();
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps[0].0, "app/a");
+        assert_eq!(apps[1].0, "app/b");
+        let all = client.list("").unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(client.list("zzz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn lookup_on_dead_server_is_unavailable() {
+        let net = Network::new(CostModel::zero());
+        let _sn = RatpNode::spawn(net.register(NodeId(1)).unwrap(), RatpConfig::default());
+        let cn = RatpNode::spawn(
+            net.register(NodeId(2)).unwrap(),
+            RatpConfig {
+                max_retries: 3,
+                retry_interval: std::time::Duration::from_millis(5),
+                ..RatpConfig::default()
+            },
+        );
+        let client = NameClient::new(&cn, NodeId(1));
+        net.crash(NodeId(1));
+        assert!(matches!(
+            client.lookup("x"),
+            Err(NameError::Unavailable(_))
+        ));
+    }
+}

@@ -1,0 +1,68 @@
+//! Kernel error type.
+
+use crate::sysname::SysName;
+use std::fmt;
+
+/// Errors surfaced by Ra kernel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RaError {
+    /// No segment with this sysname exists in the contacted partition.
+    SegmentNotFound(SysName),
+    /// A segment with this sysname already exists.
+    SegmentExists(SysName),
+    /// Access beyond the end of a segment.
+    OutOfRange {
+        /// Segment that was accessed.
+        segment: SysName,
+        /// Byte offset of the access.
+        offset: u64,
+        /// Length of the access.
+        len: u64,
+        /// Segment size in bytes.
+        segment_len: u64,
+    },
+    /// A virtual address that no mapping covers.
+    Unmapped(u64),
+    /// An access that would span two mappings (or run past one).
+    CrossesMapping(u64),
+    /// A new mapping overlaps an existing one.
+    OverlappingMapping(u64),
+    /// Write attempted through a read-only mapping.
+    ReadOnly(u64),
+    /// The partition could not service the request (e.g. remote data
+    /// server unreachable).
+    PartitionUnavailable(String),
+    /// An invalidation or lock protocol conflict; retry after backoff.
+    Conflict(String),
+}
+
+impl fmt::Display for RaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaError::SegmentNotFound(s) => write!(f, "segment {s} not found"),
+            RaError::SegmentExists(s) => write!(f, "segment {s} already exists"),
+            RaError::OutOfRange {
+                segment,
+                offset,
+                len,
+                segment_len,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) outside segment {segment} of {segment_len} bytes"
+            ),
+            RaError::Unmapped(a) => write!(f, "virtual address {a:#x} is unmapped"),
+            RaError::CrossesMapping(a) => {
+                write!(f, "access at {a:#x} crosses a mapping boundary")
+            }
+            RaError::OverlappingMapping(a) => {
+                write!(f, "mapping at {a:#x} overlaps an existing mapping")
+            }
+            RaError::ReadOnly(a) => write!(f, "write to read-only mapping at {a:#x}"),
+            RaError::PartitionUnavailable(m) => write!(f, "partition unavailable: {m}"),
+            RaError::Conflict(m) => write!(f, "protocol conflict: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RaError {}

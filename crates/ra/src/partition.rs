@@ -1,0 +1,802 @@
+//! Partitions and the per-node page-frame cache (§4.1, §4.2).
+//!
+//! "A partition is an entity that provides non-volatile data storage for
+//! segments. … In order to access a segment, the partition containing
+//! the segment has to be contacted. The partition communicates with the
+//! data server where the segment is stored to page the segment in and
+//! out when necessary. Note that Ra only defines the interface to the
+//! partitions."
+//!
+//! Ra defines [`Partition`]; two implementations exist:
+//!
+//! * [`LocalPartition`] (here) — backed directly by a [`SegmentStore`],
+//!   used by data servers and by single-node configurations. It charges
+//!   the paper's page-fault service costs to the node clock.
+//! * `DsmClientPartition` (in `clouds-dsm`) — pages segments over RaTP
+//!   from remote data servers with coherence.
+//!
+//! The [`PageCache`] is the node's "physical memory": resident page
+//! frames shared by all address spaces on the node, with LRU eviction
+//! and write-back.
+
+use crate::segment::SegmentStore;
+use crate::sysname::SysName;
+use crate::Result;
+use clouds_simnet::{CostModel, VirtualClock};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a page will be used; determines the coherence mode requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessMode {
+    /// Read-only access; many nodes may share the page.
+    Read,
+    /// Read–write access; requires exclusive ownership under DSM.
+    Write,
+}
+
+/// A page delivered by a partition.
+#[derive(Debug, Clone)]
+pub struct PageFetch {
+    /// Exactly [`PAGE_SIZE`](crate::PAGE_SIZE) bytes.
+    pub data: Vec<u8>,
+    /// Version counter at the canonical store.
+    pub version: u64,
+    /// True if the page had never been written (zero-fill fault).
+    pub zero_filled: bool,
+    /// Coherence grant sequence number; echoed back through
+    /// [`Partition::ack_page_install`] once the frame is resident, so
+    /// the manager knows recalls can no longer miss the copy. Zero for
+    /// partitions without a coherence protocol.
+    pub grant_seq: u64,
+}
+
+/// Interface between virtual memory and segment storage.
+///
+/// All methods may block (the DSM implementation performs network
+/// transactions); callers inside IsiBas should wrap faults in
+/// [`crate::sched::IsiBaCtx::blocking`].
+pub trait Partition: Send + Sync {
+    /// Create a segment of `len` zero bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RaError::SegmentExists`](crate::RaError::SegmentExists) if the sysname is taken;
+    /// [`RaError::PartitionUnavailable`](crate::RaError::PartitionUnavailable) if storage is unreachable.
+    fn create_segment(&self, seg: SysName, len: u64) -> Result<()>;
+
+    /// Destroy a segment permanently.
+    ///
+    /// # Errors
+    ///
+    /// [`RaError::SegmentNotFound`](crate::RaError::SegmentNotFound) if absent.
+    fn destroy_segment(&self, seg: SysName) -> Result<()>;
+
+    /// Length of a segment in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RaError::SegmentNotFound`](crate::RaError::SegmentNotFound) if absent.
+    fn segment_len(&self, seg: SysName) -> Result<u64>;
+
+    /// Fetch one page in the given mode (demand paging).
+    ///
+    /// # Errors
+    ///
+    /// [`RaError::SegmentNotFound`](crate::RaError::SegmentNotFound) / [`RaError::OutOfRange`](crate::RaError::OutOfRange) for bad
+    /// addresses; [`RaError::PartitionUnavailable`](crate::RaError::PartitionUnavailable) on data-server
+    /// failure.
+    fn fetch_page(&self, seg: SysName, page: u32, mode: AccessMode) -> Result<PageFetch>;
+
+    /// Write a dirty page back to the canonical store, returning its new
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Partition::fetch_page`].
+    fn write_back(&self, seg: SysName, page: u32, data: &[u8]) -> Result<u64>;
+
+    /// Relinquish any coherence state held for the page (clean drop).
+    ///
+    /// # Errors
+    ///
+    /// [`RaError::PartitionUnavailable`](crate::RaError::PartitionUnavailable) on data-server failure.
+    fn release_page(&self, seg: SysName, page: u32) -> Result<()>;
+
+    /// Acknowledge that the page from a [`Partition::fetch_page`] grant
+    /// is now resident locally. Coherence-managed partitions forward
+    /// this to the manager; the default is a no-op.
+    ///
+    /// Every [`Partition::fetch_page`] grant MUST eventually be
+    /// acknowledged — either by the page cache once the frame is
+    /// resident, or immediately by the caller when the page is not
+    /// retained (use [`Partition::fetch_page_transient`] for that).
+    fn ack_page_install(&self, seg: SysName, page: u32, grant_seq: u64) {
+        let _ = (seg, page, grant_seq);
+    }
+
+    /// Fetch a page read-only without retaining a coherent copy: the
+    /// grant is acknowledged immediately. For one-shot reads (object
+    /// headers, code paging) outside the page cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Partition::fetch_page`].
+    fn fetch_page_transient(&self, seg: SysName, page: u32) -> Result<PageFetch> {
+        let fetch = self.fetch_page(seg, page, AccessMode::Read)?;
+        self.ack_page_install(seg, page, fetch.grant_seq);
+        Ok(fetch)
+    }
+}
+
+/// Partition backed by a local [`SegmentStore`] — the configuration of a
+/// machine whose disk holds the segments it uses.
+pub struct LocalPartition {
+    store: SegmentStore,
+    clock: Arc<VirtualClock>,
+    cost: CostModel,
+}
+
+impl fmt::Debug for LocalPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalPartition")
+            .field("segments", &self.store.len())
+            .finish()
+    }
+}
+
+impl LocalPartition {
+    /// Wrap a segment store, charging fault costs to `clock`.
+    pub fn new(store: SegmentStore, clock: Arc<VirtualClock>, cost: CostModel) -> LocalPartition {
+        LocalPartition { store, clock, cost }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+}
+
+impl Partition for LocalPartition {
+    fn create_segment(&self, seg: SysName, len: u64) -> Result<()> {
+        self.store.create(seg, len)
+    }
+
+    fn destroy_segment(&self, seg: SysName) -> Result<()> {
+        self.store.destroy(seg)
+    }
+
+    fn segment_len(&self, seg: SysName) -> Result<u64> {
+        Ok(self.store.get(seg)?.read().len())
+    }
+
+    fn fetch_page(&self, seg: SysName, page: u32, _mode: AccessMode) -> Result<PageFetch> {
+        let segment = self.store.get(seg)?;
+        let segment = segment.read();
+        let zero_filled = !segment.is_page_materialized(page);
+        let data = segment.read_page(page)?;
+        // Paper §4.3: 1.5 ms to service a zero-filled 8K fault, 0.629 ms
+        // for a non-zero-filled (copied) page.
+        self.clock.charge(if zero_filled {
+            self.cost.page_fault_zero
+        } else {
+            self.cost.page_fault_copy
+        });
+        Ok(PageFetch {
+            data,
+            version: segment.page_version(page),
+            zero_filled,
+            grant_seq: 0,
+        })
+    }
+
+    fn write_back(&self, seg: SysName, page: u32, data: &[u8]) -> Result<u64> {
+        self.store.get(seg)?.write().write_page(page, data)
+    }
+
+    fn release_page(&self, _seg: SysName, _page: u32) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A resident page frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Page contents ([`PAGE_SIZE`](crate::PAGE_SIZE) bytes).
+    pub data: Vec<u8>,
+    /// Mode the frame is held in.
+    pub mode: AccessMode,
+    /// Whether the frame has unwritten modifications.
+    pub dirty: bool,
+    /// Version the frame was fetched at.
+    pub version: u64,
+}
+
+/// Why a slot is temporarily unavailable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BusyKind {
+    /// A fault is in flight; the local copy (if any) has been dropped.
+    Fetch,
+    /// An eviction write-back is in flight; the latest data is still on
+    /// its way to the canonical store.
+    Evict,
+}
+
+enum Slot {
+    /// A fault or eviction is in progress.
+    Busy(BusyKind),
+    Present(Frame),
+}
+
+#[derive(Default)]
+struct CacheInner {
+    slots: HashMap<(SysName, u32), Slot>,
+    lru: VecDeque<(SysName, u32)>,
+}
+
+/// Result of [`PageCache::reclaim`], used by the DSM client service when
+/// the data server recalls a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReclaimOutcome {
+    /// The page was not resident (already evicted).
+    NotPresent,
+    /// The page was resident; contains the latest data if it was dirty.
+    Taken {
+        /// Dirty contents that must reach the canonical store, if any.
+        dirty_data: Option<Vec<u8>>,
+    },
+}
+
+/// Counters describing fault behaviour; basis of experiment E1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses satisfied from a resident frame.
+    pub hits: u64,
+    /// Faults that required a partition fetch.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Mode upgrades (shared ➜ exclusive).
+    pub upgrades: u64,
+}
+
+/// The node's resident page frames ("physical memory"), shared by every
+/// address space on the node.
+pub struct PageCache {
+    inner: Mutex<CacheInner>,
+    cvar: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    upgrades: AtomicU64,
+}
+
+impl fmt::Debug for PageCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PageCache")
+            .field("resident", &self.inner.lock().slots.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl PageCache {
+    /// A cache holding at most `capacity` page frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> PageCache {
+        assert!(capacity > 0, "page cache needs at least one frame");
+        PageCache {
+            inner: Mutex::new(CacheInner::default()),
+            cvar: Condvar::new(),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            upgrades: AtomicU64::new(0),
+        }
+    }
+
+    /// Access a page in `mode`, faulting it in through `partition` if
+    /// necessary, and run `f` on the resident frame.
+    ///
+    /// Writes through `f` must set `frame.dirty = true` (the
+    /// [`crate::AddressSpace`] write path does this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition errors from the fault path.
+    pub fn access<R>(
+        &self,
+        key: (SysName, u32),
+        mode: AccessMode,
+        partition: &dyn Partition,
+        f: impl FnOnce(&mut Frame) -> R,
+    ) -> Result<R> {
+        loop {
+            let mut inner = self.inner.lock();
+            match inner.slots.get_mut(&key) {
+                Some(Slot::Present(frame)) if frame.mode >= mode => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    let result = f(frame);
+                    Self::touch_lru(&mut inner, key);
+                    return Ok(result);
+                }
+                Some(Slot::Present(_)) => {
+                    // Mode upgrade: refetch exclusively. Take the slot so
+                    // concurrent faulters wait. The shared copy is clean
+                    // by construction (writes require exclusive mode), so
+                    // dropping it loses nothing.
+                    self.upgrades.fetch_add(1, Ordering::Relaxed);
+                    inner.slots.insert(key, Slot::Busy(BusyKind::Fetch));
+                    drop(inner);
+                    return self.fault_in(key, mode, partition, f);
+                }
+                Some(Slot::Busy(_)) => {
+                    self.cvar.wait(&mut inner);
+                    continue;
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    inner.slots.insert(key, Slot::Busy(BusyKind::Fetch));
+                    // Evict beyond capacity before fetching more.
+                    let victim = Self::pick_victim(&mut inner, self.capacity);
+                    drop(inner);
+                    if let Some((vkey, vframe)) = victim {
+                        self.write_out(vkey, vframe, partition)?;
+                    }
+                    return self.fault_in(key, mode, partition, f);
+                }
+            }
+        }
+    }
+
+    fn fault_in<R>(
+        &self,
+        key: (SysName, u32),
+        mode: AccessMode,
+        partition: &dyn Partition,
+        f: impl FnOnce(&mut Frame) -> R,
+    ) -> Result<R> {
+        let fetched = partition.fetch_page(key.0, key.1, mode);
+        let mut inner = self.inner.lock();
+        match fetched {
+            Ok(page) => {
+                let grant_seq = page.grant_seq;
+                let mut frame = Frame {
+                    data: page.data,
+                    mode,
+                    dirty: false,
+                    version: page.version,
+                };
+                let result = f(&mut frame);
+                inner.slots.insert(key, Slot::Present(frame));
+                Self::touch_lru(&mut inner, key);
+                self.cvar.notify_all();
+                drop(inner);
+                // The frame is now visible to recalls: tell the manager
+                // so it may issue the next grant for this page.
+                partition.ack_page_install(key.0, key.1, grant_seq);
+                Ok(result)
+            }
+            Err(e) => {
+                inner.slots.remove(&key);
+                self.cvar.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    fn touch_lru(inner: &mut CacheInner, key: (SysName, u32)) {
+        if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
+            inner.lru.remove(pos);
+        }
+        inner.lru.push_back(key);
+    }
+
+    /// Select and detach an LRU victim if over capacity (the caller
+    /// performs the write-back outside the lock; the victim slot is
+    /// marked Busy meanwhile).
+    fn pick_victim(inner: &mut CacheInner, capacity: usize) -> Option<((SysName, u32), Frame)> {
+        let resident = inner
+            .slots
+            .values()
+            .filter(|s| matches!(s, Slot::Present(_)))
+            .count();
+        if resident < capacity {
+            return None;
+        }
+        while let Some(key) = inner.lru.pop_front() {
+            if let Some(Slot::Present(_)) = inner.slots.get(&key) {
+                if let Some(Slot::Present(frame)) = inner.slots.remove(&key) {
+                    inner.slots.insert(key, Slot::Busy(BusyKind::Evict));
+                    return Some((key, frame));
+                }
+            }
+            // else: stale LRU entry (slot busy or gone); keep scanning.
+        }
+        None
+    }
+
+    fn write_out(
+        &self,
+        key: (SysName, u32),
+        frame: Frame,
+        partition: &dyn Partition,
+    ) -> Result<()> {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        let result = (|| {
+            if frame.dirty {
+                partition.write_back(key.0, key.1, &frame.data)?;
+            }
+            partition.release_page(key.0, key.1)
+        })();
+        let mut inner = self.inner.lock();
+        inner.slots.remove(&key); // clear the Busy marker
+        self.cvar.notify_all();
+        result
+    }
+
+    /// Recall a page on behalf of the DSM server: removes the frame
+    /// (waiting out any in-flight fault) and returns dirty data if the
+    /// local copy was modified.
+    pub fn reclaim(&self, key: (SysName, u32)) -> ReclaimOutcome {
+        let mut inner = self.inner.lock();
+        loop {
+            match inner.slots.get(&key) {
+                // A fetch in flight means the local copy was dropped; the
+                // fetch will be (re)serialized by the data server, so the
+                // page is effectively not here. Waiting would deadlock
+                // with the server-side coherence transition.
+                Some(Slot::Busy(BusyKind::Fetch)) => return ReclaimOutcome::NotPresent,
+                // An eviction's dirty data is still in flight to the
+                // store: wait it out so the caller sees it there.
+                Some(Slot::Busy(BusyKind::Evict)) => self.cvar.wait(&mut inner),
+                Some(Slot::Present(_)) => {
+                    let Some(Slot::Present(frame)) = inner.slots.remove(&key) else {
+                        unreachable!("checked above")
+                    };
+                    if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
+                        inner.lru.remove(pos);
+                    }
+                    self.cvar.notify_all();
+                    return ReclaimOutcome::Taken {
+                        dirty_data: frame.dirty.then_some(frame.data),
+                    };
+                }
+                None => return ReclaimOutcome::NotPresent,
+            }
+        }
+    }
+
+    /// Downgrade an exclusively held page to shared, returning dirty
+    /// data that must reach the canonical store.
+    pub fn downgrade(&self, key: (SysName, u32)) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        loop {
+            match inner.slots.get_mut(&key) {
+                Some(Slot::Busy(BusyKind::Fetch)) => return None,
+                Some(Slot::Busy(BusyKind::Evict)) => self.cvar.wait(&mut inner),
+                Some(Slot::Present(frame)) => {
+                    frame.mode = AccessMode::Read;
+                    let dirty = std::mem::take(&mut frame.dirty);
+                    return dirty.then(|| frame.data.clone());
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Write every dirty frame back through `partition` (e.g. at commit
+    /// or orderly shutdown), leaving frames resident and clean.
+    ///
+    /// Each frame is marked busy (as during eviction) while its data is
+    /// in flight, so a concurrent DSM recall waits for the write-back
+    /// instead of reporting a stale-clean copy — reporting clean early
+    /// would serve other nodes stale canonical data (a lost update).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first write-back failure (the frame is reinstated
+    /// dirty so the data is not lost).
+    pub fn flush(&self, partition: &dyn Partition) -> Result<()> {
+        let dirty_keys: Vec<(SysName, u32)> = {
+            let inner = self.inner.lock();
+            inner
+                .slots
+                .iter()
+                .filter_map(|(key, slot)| match slot {
+                    Slot::Present(frame) if frame.dirty => Some(*key),
+                    _ => None,
+                })
+                .collect()
+        };
+        for key in dirty_keys {
+            // Detach the frame behind an Evict marker.
+            let frame = {
+                let mut inner = self.inner.lock();
+                match inner.slots.get(&key) {
+                    Some(Slot::Present(frame)) if frame.dirty => {
+                        let Some(Slot::Present(frame)) = inner.slots.remove(&key) else {
+                            unreachable!("checked above")
+                        };
+                        inner.slots.insert(key, Slot::Busy(BusyKind::Evict));
+                        frame
+                    }
+                    // Raced with eviction/reclaim; nothing to do here.
+                    _ => continue,
+                }
+            };
+            let result = partition.write_back(key.0, key.1, &frame.data);
+            let mut inner = self.inner.lock();
+            // Only reinstate if nobody reclaimed the page meanwhile.
+            if matches!(inner.slots.get(&key), Some(Slot::Busy(BusyKind::Evict))) {
+                let mut frame = frame;
+                frame.dirty = result.is_err();
+                inner.slots.insert(key, Slot::Present(frame));
+            }
+            self.cvar.notify_all();
+            drop(inner);
+            result?;
+        }
+        Ok(())
+    }
+
+    /// Drop all frames without write-back (crash simulation).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.slots.clear();
+        inner.lru.clear();
+        self.cvar.notify_all();
+    }
+
+    /// Number of resident frames.
+    pub fn resident(&self) -> usize {
+        self.inner
+            .lock()
+            .slots
+            .values()
+            .filter(|s| matches!(s, Slot::Present(_)))
+            .count()
+    }
+
+    /// Snapshot of the fault counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            upgrades: self.upgrades.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RaError;
+    use crate::segment::PAGE_SIZE;
+    use clouds_simnet::Vt;
+
+    fn setup(capacity: usize) -> (Arc<LocalPartition>, PageCache, Arc<VirtualClock>, SysName) {
+        let clock = Arc::new(VirtualClock::new());
+        let store = SegmentStore::new();
+        let seg = SysName::from_parts(1, 1);
+        store.create(seg, 8 * PAGE_SIZE as u64).unwrap();
+        let part = Arc::new(LocalPartition::new(
+            store,
+            Arc::clone(&clock),
+            CostModel::sun3_ethernet(),
+        ));
+        (part, PageCache::new(capacity), clock, seg)
+    }
+
+    #[test]
+    fn zero_fill_fault_charges_paper_cost() {
+        let (part, cache, clock, seg) = setup(4);
+        cache
+            .access((seg, 0), AccessMode::Read, &*part, |f| {
+                assert_eq!(f.data.len(), PAGE_SIZE);
+                assert!(f.data.iter().all(|&b| b == 0));
+            })
+            .unwrap();
+        assert_eq!(clock.now(), Vt::from_micros(1500));
+    }
+
+    #[test]
+    fn copy_fault_charges_smaller_cost() {
+        let (part, cache, clock, seg) = setup(4);
+        // Materialize page 0 in the store first.
+        part.store()
+            .get(seg)
+            .unwrap()
+            .write()
+            .write(0, b"data")
+            .unwrap();
+        cache
+            .access((seg, 0), AccessMode::Read, &*part, |f| {
+                assert_eq!(&f.data[..4], b"data");
+            })
+            .unwrap();
+        assert_eq!(clock.now(), Vt::from_micros(629));
+    }
+
+    #[test]
+    fn hit_charges_nothing() {
+        let (part, cache, clock, seg) = setup(4);
+        cache
+            .access((seg, 0), AccessMode::Read, &*part, |_| {})
+            .unwrap();
+        let after_fault = clock.now();
+        cache
+            .access((seg, 0), AccessMode::Read, &*part, |_| {})
+            .unwrap();
+        assert_eq!(clock.now(), after_fault);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let (part, cache, _clock, seg) = setup(1);
+        cache
+            .access((seg, 0), AccessMode::Write, &*part, |f| {
+                f.data[0] = 0xAA;
+                f.dirty = true;
+            })
+            .unwrap();
+        // Touch another page; capacity 1 forces eviction of page 0.
+        cache
+            .access((seg, 1), AccessMode::Read, &*part, |_| {})
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        let stored = part.store().get(seg).unwrap().read().read(0, 1).unwrap();
+        assert_eq!(stored[0], 0xAA);
+    }
+
+    #[test]
+    fn reclaim_returns_dirty_data() {
+        let (part, cache, _clock, seg) = setup(4);
+        cache
+            .access((seg, 2), AccessMode::Write, &*part, |f| {
+                f.data[7] = 9;
+                f.dirty = true;
+            })
+            .unwrap();
+        match cache.reclaim((seg, 2)) {
+            ReclaimOutcome::Taken { dirty_data: Some(d) } => assert_eq!(d[7], 9),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cache.reclaim((seg, 2)), ReclaimOutcome::NotPresent);
+        assert_eq!(cache.resident(), 0);
+    }
+
+    #[test]
+    fn reclaim_clean_page_has_no_data() {
+        let (part, cache, _clock, seg) = setup(4);
+        cache
+            .access((seg, 0), AccessMode::Read, &*part, |_| {})
+            .unwrap();
+        assert_eq!(
+            cache.reclaim((seg, 0)),
+            ReclaimOutcome::Taken { dirty_data: None }
+        );
+    }
+
+    #[test]
+    fn downgrade_clears_dirty_and_mode() {
+        let (part, cache, _clock, seg) = setup(4);
+        cache
+            .access((seg, 0), AccessMode::Write, &*part, |f| {
+                f.data[0] = 5;
+                f.dirty = true;
+            })
+            .unwrap();
+        let dirty = cache.downgrade((seg, 0));
+        assert_eq!(dirty.unwrap()[0], 5);
+        // Second downgrade: already clean.
+        assert!(cache.downgrade((seg, 0)).is_none());
+        // A subsequent write access needs an upgrade.
+        cache
+            .access((seg, 0), AccessMode::Write, &*part, |f| {
+                f.dirty = true;
+            })
+            .unwrap();
+        assert_eq!(cache.stats().upgrades, 1);
+    }
+
+    #[test]
+    fn flush_writes_all_dirty_frames() {
+        let (part, cache, _clock, seg) = setup(8);
+        for page in 0..3u32 {
+            cache
+                .access((seg, page), AccessMode::Write, &*part, |f| {
+                    f.data[0] = page as u8 + 1;
+                    f.dirty = true;
+                })
+                .unwrap();
+        }
+        cache.flush(&*part).unwrap();
+        for page in 0..3u32 {
+            let stored = part
+                .store()
+                .get(seg)
+                .unwrap()
+                .read()
+                .read(page as u64 * PAGE_SIZE as u64, 1)
+                .unwrap();
+            assert_eq!(stored[0], page as u8 + 1);
+        }
+        // Frames stay resident and clean.
+        assert_eq!(cache.resident(), 3);
+        cache.flush(&*part).unwrap(); // second flush is a no-op
+    }
+
+    #[test]
+    fn clear_drops_without_writeback() {
+        let (part, cache, _clock, seg) = setup(8);
+        cache
+            .access((seg, 0), AccessMode::Write, &*part, |f| {
+                f.data[0] = 42;
+                f.dirty = true;
+            })
+            .unwrap();
+        cache.clear();
+        assert_eq!(cache.resident(), 0);
+        let stored = part.store().get(seg).unwrap().read().read(0, 1).unwrap();
+        assert_eq!(stored[0], 0, "crash must not persist dirty data");
+    }
+
+    #[test]
+    fn fetch_error_propagates_and_unblocks() {
+        let (part, cache, _clock, _seg) = setup(4);
+        let missing = SysName::from_parts(9, 9);
+        let err = cache
+            .access((missing, 0), AccessMode::Read, &*part, |_| {})
+            .unwrap_err();
+        assert!(matches!(err, RaError::SegmentNotFound(_)));
+        // The Busy marker must have been cleaned up: retry also errors
+        // (rather than deadlocking).
+        let err2 = cache
+            .access((missing, 0), AccessMode::Read, &*part, |_| {})
+            .unwrap_err();
+        assert!(matches!(err2, RaError::SegmentNotFound(_)));
+    }
+
+    #[test]
+    fn concurrent_access_to_same_page_is_serialized() {
+        let (part, cache, _clock, seg) = setup(8);
+        let cache = Arc::new(cache);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let cache = Arc::clone(&cache);
+            let part = Arc::clone(&part);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    cache
+                        .access((seg, 0), AccessMode::Write, &*part, |f| {
+                            let v = u64::from_le_bytes(f.data[..8].try_into().unwrap());
+                            f.data[..8].copy_from_slice(&(v + 1).to_le_bytes());
+                            f.dirty = true;
+                        })
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        cache
+            .access((seg, 0), AccessMode::Read, &*part, |f| {
+                let v = u64::from_le_bytes(f.data[..8].try_into().unwrap());
+                assert_eq!(v, 800);
+            })
+            .unwrap();
+    }
+}

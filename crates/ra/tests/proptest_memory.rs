@@ -1,0 +1,121 @@
+//! Property-based tests for the Ra memory mechanisms: segments behave
+//! like flat byte arrays, and virtual spaces translate like the
+//! reference model.
+
+use clouds_ra::{RaError, Segment, SysName, VirtualSpace, PAGE_SIZE};
+use proptest::prelude::*;
+
+fn name(n: u64) -> SysName {
+    SysName::from_parts(42, n)
+}
+
+proptest! {
+    /// A segment must be indistinguishable from a plain byte vector
+    /// under any sequence of in-range reads and writes.
+    #[test]
+    fn segment_equals_flat_bytes(
+        ops in prop::collection::vec(
+            (0u64..3 * PAGE_SIZE as u64, prop::collection::vec(any::<u8>(), 1..300), any::<bool>()),
+            1..40,
+        )
+    ) {
+        let len = 3 * PAGE_SIZE as u64 + 123;
+        let mut segment = Segment::new(name(1), len);
+        let mut model = vec![0u8; len as usize];
+        for (offset, data, is_write) in ops {
+            let end = offset as usize + data.len();
+            if end > len as usize {
+                prop_assert!(segment.write(offset, &data).is_err());
+                continue;
+            }
+            if is_write {
+                segment.write(offset, &data).unwrap();
+                model[offset as usize..end].copy_from_slice(&data);
+            } else {
+                let got = segment.read(offset, data.len()).unwrap();
+                prop_assert_eq!(&got, &model[offset as usize..end]);
+            }
+        }
+        // Final full comparison.
+        prop_assert_eq!(segment.read(0, len as usize).unwrap(), model);
+    }
+
+    /// Page-granular access agrees with byte-granular access.
+    #[test]
+    fn segment_page_view_consistent(
+        writes in prop::collection::vec(
+            (0u32..4, prop::collection::vec(any::<u8>(), PAGE_SIZE..=PAGE_SIZE)),
+            1..10,
+        )
+    ) {
+        let mut segment = Segment::new(name(2), 4 * PAGE_SIZE as u64);
+        let mut model = vec![0u8; 4 * PAGE_SIZE];
+        for (page, data) in writes {
+            segment.write_page(page, &data).unwrap();
+            let at = page as usize * PAGE_SIZE;
+            model[at..at + PAGE_SIZE].copy_from_slice(&data);
+        }
+        for page in 0..4u32 {
+            let at = page as usize * PAGE_SIZE;
+            prop_assert_eq!(segment.read_page(page).unwrap(), &model[at..at + PAGE_SIZE]);
+        }
+    }
+
+    /// VirtualSpace translation matches a brute-force model of the
+    /// accepted mappings, and never accepts overlap.
+    #[test]
+    fn vspace_matches_model(
+        requests in prop::collection::vec(
+            (0u64..1 << 20, 1u64..(1 << 14)),
+            1..25,
+        ),
+        probes in prop::collection::vec(0u64..(1 << 20) + (1 << 14), 64),
+    ) {
+        let mut space = VirtualSpace::new();
+        // model: accepted (base, len, seg)
+        let mut accepted: Vec<(u64, u64, SysName)> = Vec::new();
+        for (i, (base, len)) in requests.into_iter().enumerate() {
+            let seg = name(i as u64 + 10);
+            let overlaps = accepted
+                .iter()
+                .any(|(b, l, _)| base < b + l && *b < base + len);
+            let result = space.map(base, seg, 0, len, true);
+            if overlaps {
+                prop_assert!(matches!(result, Err(RaError::OverlappingMapping(_))));
+            } else {
+                prop_assert!(result.is_ok());
+                accepted.push((base, len, seg));
+            }
+        }
+        for addr in probes {
+            let expect = accepted
+                .iter()
+                .find(|(b, l, _)| addr >= *b && addr < b + l);
+            match (space.translate(addr, 1), expect) {
+                (Ok((seg, off, _)), Some((b, _, s))) => {
+                    prop_assert_eq!(seg, *s);
+                    prop_assert_eq!(off, addr - b);
+                }
+                (Err(RaError::Unmapped(_)), None) => {}
+                (got, want) => prop_assert!(false, "addr {addr:#x}: got {got:?}, want {want:?}"),
+            }
+        }
+    }
+
+    /// Unmapping restores translate-failure, and double unmap fails.
+    #[test]
+    fn vspace_unmap_roundtrip(bases in prop::collection::btree_set(0u64..64, 1..8)) {
+        let mut space = VirtualSpace::new();
+        let bases: Vec<u64> = bases.into_iter().map(|b| b * 0x10000).collect();
+        for (i, &b) in bases.iter().enumerate() {
+            space.map(b, name(i as u64), 0, 0x8000, true).unwrap();
+        }
+        for &b in &bases {
+            prop_assert!(space.translate(b, 8).is_ok());
+            space.unmap(b).unwrap();
+            prop_assert!(space.translate(b, 8).is_err());
+            prop_assert!(space.unmap(b).is_err());
+        }
+        prop_assert!(space.is_empty());
+    }
+}

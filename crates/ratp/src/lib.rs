@@ -1,0 +1,200 @@
+//! `clouds-ratp` — the **Ra Transport Protocol**.
+//!
+//! RaTP is the transport used for *all* communication in Clouds (§4.2
+//! "Networking and RaTP"): a connectionless, reliable **message
+//! transaction** protocol in the style of Cheriton's VMTP. A transaction
+//! is a send/reply pair used for client–server communication — there are
+//! no connections, no streams.
+//!
+//! This implementation runs over [`clouds_simnet`] frames and provides:
+//!
+//! * **Fragmentation/reassembly** — messages larger than the Ethernet MTU
+//!   are split into numbered fragments (an 8 KB page needs 6).
+//! * **Retransmission** — the client retransmits the request until the
+//!   reply arrives or the retry budget is exhausted.
+//! * **Duplicate suppression** — servers remember recently answered
+//!   transactions and replay the cached reply instead of re-executing the
+//!   handler (at-most-once execution in the absence of cache eviction).
+//! * **Service dispatch** — each node exposes numbered ports; the Clouds
+//!   system objects (DSM server, object manager, name server, user I/O)
+//!   each claim one.
+//!
+//! # Examples
+//!
+//! ```
+//! use clouds_ratp::{RatpConfig, RatpNode, Request};
+//! use clouds_simnet::{CostModel, Network, NodeId};
+//! use bytes::Bytes;
+//!
+//! let net = Network::new(CostModel::zero());
+//! let client = RatpNode::spawn(net.register(NodeId(1)).unwrap(), RatpConfig::default());
+//! let server = RatpNode::spawn(net.register(NodeId(2)).unwrap(), RatpConfig::default());
+//!
+//! const ECHO: u16 = 7;
+//! server.register_service(ECHO, |req: Request| req.payload);
+//!
+//! let reply = client.call(NodeId(2), ECHO, Bytes::from_static(b"hello")).unwrap();
+//! assert_eq!(&reply[..], b"hello");
+//! ```
+
+mod node;
+mod packet;
+
+pub use node::{CallError, RatpConfig, RatpNode, Request, Service};
+pub use packet::{Packet, PacketKind, MAX_FRAGMENT_PAYLOAD};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use clouds_simnet::{CostModel, Network, NodeId, Vt};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const ECHO: u16 = 1;
+    const COUNT: u16 = 2;
+
+    fn testbed(cost: CostModel) -> (Network, Arc<RatpNode>, Arc<RatpNode>) {
+        let net = Network::new(cost);
+        let cfg = RatpConfig {
+            retry_interval: Duration::from_millis(10),
+            max_retries: 200,
+            ..RatpConfig::default()
+        };
+        let a = RatpNode::spawn(net.register(NodeId(1)).unwrap(), cfg.clone());
+        let b = RatpNode::spawn(net.register(NodeId(2)).unwrap(), cfg);
+        b.register_service(ECHO, |req: Request| req.payload);
+        (net, a, b)
+    }
+
+    #[test]
+    fn null_transaction_round_trip_vt() {
+        let (_net, a, _b) = testbed(CostModel::sun3_ethernet());
+        let before = a.clock().now();
+        a.call(NodeId(2), ECHO, Bytes::new()).unwrap();
+        let rtt = a.clock().now() - before;
+        // Paper §4.3: the RaTP reliable round trip is 4.8 ms. Small
+        // messages: 2 frames + 4 transport packet processing steps.
+        assert!(rtt >= Vt::from_micros(4000), "rtt {rtt}");
+        assert!(rtt <= Vt::from_micros(5600), "rtt {rtt}");
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles() {
+        let (net, a, _b) = testbed(CostModel::zero());
+        let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let reply = a.call(NodeId(2), ECHO, Bytes::from(payload.clone())).unwrap();
+        assert_eq!(&reply[..], &payload[..]);
+        // 20000 bytes needs at least 14 fragments each way.
+        assert!(net.stats().frames_sent >= 28);
+    }
+
+    #[test]
+    fn empty_and_exact_mtu_boundary_payloads() {
+        let (_net, a, _b) = testbed(CostModel::zero());
+        for len in [
+            0,
+            1,
+            MAX_FRAGMENT_PAYLOAD - 1,
+            MAX_FRAGMENT_PAYLOAD,
+            MAX_FRAGMENT_PAYLOAD + 1,
+            2 * MAX_FRAGMENT_PAYLOAD,
+        ] {
+            let payload = vec![0xAB; len];
+            let reply = a.call(NodeId(2), ECHO, Bytes::from(payload.clone())).unwrap();
+            assert_eq!(reply.len(), len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn survives_heavy_loss() {
+        let (net, a, _b) = testbed(CostModel::zero());
+        net.set_loss(0.3);
+        for i in 0..20u8 {
+            let reply = a.call(NodeId(2), ECHO, Bytes::from(vec![i; 64])).unwrap();
+            assert_eq!(&reply[..], &vec![i; 64][..]);
+        }
+    }
+
+    #[test]
+    fn duplicate_frames_do_not_reexecute_handler() {
+        let (net, a, b) = testbed(CostModel::zero());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        b.register_service(COUNT, move |_req: Request| {
+            h.fetch_add(1, Ordering::SeqCst);
+            Bytes::new()
+        });
+        net.set_duplication(1.0);
+        for _ in 0..5 {
+            a.call(NodeId(2), COUNT, Bytes::new()).unwrap();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn call_to_unknown_service_errors() {
+        let (_net, a, _b) = testbed(CostModel::zero());
+        let err = a.call(NodeId(2), 999, Bytes::new()).unwrap_err();
+        assert!(matches!(err, CallError::ServiceNotFound(999)));
+    }
+
+    #[test]
+    fn call_to_crashed_node_times_out() {
+        let (net, a, _b) = testbed(CostModel::zero());
+        net.crash(NodeId(2));
+        let cfg_limited = a.call_with_budget(NodeId(2), ECHO, Bytes::new(), 3);
+        assert!(matches!(cfg_limited, Err(CallError::TimedOut)));
+    }
+
+    #[test]
+    fn concurrent_calls_multiplex() {
+        let (_net, a, _b) = testbed(CostModel::zero());
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10u8 {
+                    let msg = vec![t, i];
+                    let reply = a.call(NodeId(2), ECHO, Bytes::from(msg.clone())).unwrap();
+                    assert_eq!(&reply[..], &msg[..]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn services_can_call_other_nodes() {
+        // A proxy service on node 2 forwards to the echo on node 3:
+        // exercises blocking calls from within a handler (needed by DSM
+        // forwarding).
+        let net = Network::new(CostModel::zero());
+        let a = RatpNode::spawn(net.register(NodeId(1)).unwrap(), RatpConfig::default());
+        let b = RatpNode::spawn(net.register(NodeId(2)).unwrap(), RatpConfig::default());
+        let c = RatpNode::spawn(net.register(NodeId(3)).unwrap(), RatpConfig::default());
+        c.register_service(ECHO, |req: Request| req.payload);
+        let b2 = Arc::clone(&b);
+        b.register_service(10, move |req: Request| {
+            b2.call(NodeId(3), ECHO, req.payload).unwrap()
+        });
+        let reply = a.call(NodeId(2), 10, Bytes::from_static(b"via proxy")).unwrap();
+        assert_eq!(&reply[..], b"via proxy");
+    }
+
+    #[test]
+    fn eight_k_page_transfer_vt_matches_paper_shape() {
+        let (_net, a, _b) = testbed(CostModel::sun3_ethernet());
+        let before = a.clock().now();
+        a.call(NodeId(2), ECHO, Bytes::from(vec![0u8; 8192])).unwrap();
+        let t = a.clock().now() - before;
+        // Paper: reliably transferring an 8K page takes 11.9 ms. Our call
+        // echoes the page back, so allow roughly twice that but verify the
+        // one-way shape: at least 6 fragments' worth of wire time.
+        assert!(t >= Vt::from_millis(12), "t {t}");
+        assert!(t <= Vt::from_millis(40), "t {t}");
+    }
+}

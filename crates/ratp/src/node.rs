@@ -1,0 +1,406 @@
+//! Per-node RaTP state machine: client calls, server dispatch,
+//! retransmission and duplicate suppression.
+
+use crate::packet::{fragment, Packet, PacketKind, Reassembly};
+use bytes::Bytes;
+use clouds_simnet::{Endpoint, NodeId, RecvError, SendError, VirtualClock};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+/// Configuration knobs for a RaTP node.
+#[derive(Debug, Clone)]
+pub struct RatpConfig {
+    /// Real-time interval between request retransmissions.
+    pub retry_interval: Duration,
+    /// Retransmission budget for [`RatpNode::call`] before giving up.
+    pub max_retries: u32,
+    /// Number of answered transactions remembered for duplicate
+    /// suppression / reply replay.
+    pub dup_cache_size: usize,
+}
+
+impl Default for RatpConfig {
+    fn default() -> Self {
+        RatpConfig {
+            retry_interval: Duration::from_millis(15),
+            max_retries: 400,
+            dup_cache_size: 1024,
+        }
+    }
+}
+
+/// A fully reassembled request handed to a [`Service`].
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Node that originated the transaction.
+    pub src: NodeId,
+    /// Request message bytes.
+    pub payload: Bytes,
+}
+
+/// A server-side message handler bound to a port.
+///
+/// Handlers run on their own thread and may block — including calling
+/// other nodes through the same [`RatpNode`] — without deadlocking the
+/// receive loop. Closures `Fn(Request) -> Bytes + Send + Sync` implement
+/// this trait automatically.
+pub trait Service: Send + Sync + 'static {
+    /// Process one request and produce the reply message.
+    fn handle(&self, request: Request) -> Bytes;
+}
+
+impl<F> Service for F
+where
+    F: Fn(Request) -> Bytes + Send + Sync + 'static,
+{
+    fn handle(&self, request: Request) -> Bytes {
+        self(request)
+    }
+}
+
+/// Errors returned by [`RatpNode::call`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CallError {
+    /// No reply within the retransmission budget (destination dead,
+    /// partitioned, or persistently lossy link).
+    TimedOut,
+    /// The destination answered but has no service on that port.
+    ServiceNotFound(u16),
+    /// The local node could not transmit.
+    Send(SendError),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::TimedOut => write!(f, "transaction timed out"),
+            CallError::ServiceNotFound(p) => write!(f, "no service on port {p}"),
+            CallError::Send(e) => write!(f, "send failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CallError::Send(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SendError> for CallError {
+    fn from(e: SendError) -> Self {
+        CallError::Send(e)
+    }
+}
+
+struct Pending {
+    reply_tx: Sender<Result<Bytes, CallError>>,
+    reassembly: Option<Reassembly>,
+}
+
+#[derive(Default)]
+struct ServerState {
+    /// Partially reassembled incoming requests.
+    inflight: HashMap<(NodeId, u64), Reassembly>,
+    /// Transactions whose handler is currently running.
+    executing: HashSet<(NodeId, u64)>,
+    /// Answered transactions: encoded reply frames for replay.
+    replied: HashMap<(NodeId, u64), Arc<Vec<Bytes>>>,
+    /// Eviction order for `replied`.
+    replied_order: VecDeque<(NodeId, u64)>,
+}
+
+/// A node's RaTP protocol instance.
+///
+/// Owns the [`Endpoint`] and a background receive thread; exposes the
+/// client side ([`RatpNode::call`]) and the server side
+/// ([`RatpNode::register_service`]). See the crate docs for an example.
+pub struct RatpNode {
+    endpoint: Arc<Endpoint>,
+    config: RatpConfig,
+    services: RwLock<HashMap<u16, Arc<dyn Service>>>,
+    pending: Mutex<HashMap<u64, Pending>>,
+    server: Mutex<ServerState>,
+    txn_counter: AtomicU64,
+    running: AtomicBool,
+}
+
+impl fmt::Debug for RatpNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RatpNode")
+            .field("node", &self.endpoint.id())
+            .field("services", &self.services.read().len())
+            .finish()
+    }
+}
+
+impl RatpNode {
+    /// Attach RaTP to an endpoint and start its receive loop.
+    pub fn spawn(endpoint: Endpoint, config: RatpConfig) -> Arc<RatpNode> {
+        let node = Arc::new(RatpNode {
+            endpoint: Arc::new(endpoint),
+            config,
+            services: RwLock::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            server: Mutex::new(ServerState::default()),
+            txn_counter: AtomicU64::new(1),
+            running: AtomicBool::new(true),
+        });
+        let weak: Weak<RatpNode> = Arc::downgrade(&node);
+        std::thread::Builder::new()
+            .name(format!("ratp-{}", node.endpoint.id()))
+            .spawn(move || receive_loop(weak))
+            .expect("spawn ratp receive thread");
+        node
+    }
+
+    /// This node's network id.
+    pub fn node_id(&self) -> NodeId {
+        self.endpoint.id()
+    }
+
+    /// This node's virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        self.endpoint.clock()
+    }
+
+    /// Bind `service` to `port`, replacing any previous binding.
+    pub fn register_service<S: Service>(&self, port: u16, service: S) {
+        self.services.write().insert(port, Arc::new(service));
+    }
+
+    /// Remove the binding on `port`.
+    pub fn unregister_service(&self, port: u16) {
+        self.services.write().remove(&port);
+    }
+
+    /// Discard all volatile protocol state (used when the owning node
+    /// crash-restarts: a rebooted machine has no reassembly buffers or
+    /// duplicate-suppression memory).
+    pub fn reset_volatile_state(&self) {
+        self.pending.lock().clear();
+        *self.server.lock() = ServerState::default();
+    }
+
+    /// Stop the receive loop. Further calls will time out.
+    pub fn shutdown(&self) {
+        self.running.store(false, Ordering::Release);
+    }
+
+    /// Execute one message transaction with the configured retry budget.
+    ///
+    /// Blocks the calling thread until the reply arrives or the budget is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`CallError::TimedOut`] when no reply arrives,
+    /// [`CallError::ServiceNotFound`] when the server has no handler on
+    /// `port`, [`CallError::Send`] if the local node cannot transmit
+    /// (e.g. it is crashed).
+    pub fn call(&self, dst: NodeId, port: u16, payload: Bytes) -> Result<Bytes, CallError> {
+        self.call_with_budget(dst, port, payload, self.config.max_retries)
+    }
+
+    /// Fire-and-forget message: transmit the request once and do not
+    /// wait for (or deliver) any reply. Used for acknowledgements where
+    /// loss is tolerable because the receiver has a timeout fallback.
+    pub fn notify(&self, dst: NodeId, port: u16, payload: Bytes) {
+        let txn = self.next_txn();
+        for packet in fragment(PacketKind::Request, port, txn, payload) {
+            self.endpoint.clock().charge(self.cost().transport_packet);
+            let _ = self.endpoint.send(dst, packet.encode());
+        }
+    }
+
+    /// [`RatpNode::call`] with an explicit retransmission budget.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RatpNode::call`].
+    pub fn call_with_budget(
+        &self,
+        dst: NodeId,
+        port: u16,
+        payload: Bytes,
+        max_retries: u32,
+    ) -> Result<Bytes, CallError> {
+        let txn = self.next_txn();
+        let (reply_tx, reply_rx) = bounded(1);
+        self.pending.lock().insert(
+            txn,
+            Pending {
+                reply_tx,
+                reassembly: None,
+            },
+        );
+        let frames: Vec<Bytes> = fragment(PacketKind::Request, port, txn, payload)
+            .into_iter()
+            .map(|p| p.encode())
+            .collect();
+
+        let result = (|| {
+            for _attempt in 0..=max_retries {
+                for frame in &frames {
+                    // Transport-layer processing cost per transmitted packet.
+                    self.endpoint
+                        .clock()
+                        .charge(self.cost().transport_packet);
+                    self.endpoint.send(dst, frame.clone())?;
+                }
+                if let Ok(outcome) = reply_rx.recv_timeout(self.config.retry_interval) {
+                    return outcome;
+                }
+                // else: retransmit on the next loop iteration
+            }
+            Err(CallError::TimedOut)
+        })();
+        self.pending.lock().remove(&txn);
+        result
+    }
+
+    fn cost(&self) -> &clouds_simnet::CostModel {
+        self.endpoint.cost_model()
+    }
+
+    fn next_txn(&self) -> u64 {
+        let counter = self.txn_counter.fetch_add(1, Ordering::Relaxed);
+        ((self.endpoint.id().0 as u64) << 32) | (counter & 0xFFFF_FFFF)
+    }
+}
+
+fn receive_loop(weak: Weak<RatpNode>) {
+    loop {
+        let Some(node) = weak.upgrade() else { break };
+        if !node.running.load(Ordering::Acquire) {
+            break;
+        }
+        match node.endpoint.recv_timeout(Duration::from_millis(25)) {
+            Ok(frame) => {
+                let src = frame.src;
+                if let Some(pkt) = Packet::decode(frame.payload) {
+                    node.endpoint.clock().charge(node.cost().transport_packet);
+                    match pkt.kind {
+                        PacketKind::Request => handle_request_fragment(&node, src, pkt),
+                        PacketKind::Reply | PacketKind::NoService => {
+                            handle_reply_fragment(&node, pkt)
+                        }
+                    }
+                }
+            }
+            Err(RecvError::Timeout) => {}
+            Err(RecvError::Crashed) => std::thread::sleep(Duration::from_millis(5)),
+            Err(RecvError::Disconnected) => break,
+            Err(_) => {}
+        }
+    }
+}
+
+fn handle_request_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
+    let key = (src, pkt.txn);
+    let port = pkt.port;
+    let complete = {
+        let mut server = node.server.lock();
+        if let Some(reply_frames) = server.replied.get(&key) {
+            // Already answered: replay the cached reply.
+            let frames = Arc::clone(reply_frames);
+            drop(server);
+            for frame in frames.iter() {
+                node.endpoint.clock().charge(node.cost().transport_packet);
+                let _ = node.endpoint.send(src, frame.clone());
+            }
+            return;
+        }
+        if server.executing.contains(&key) {
+            return; // handler still running; client will see the reply soon
+        }
+        let reassembly = server
+            .inflight
+            .entry(key)
+            .or_insert_with(|| Reassembly::new(pkt.frag_count));
+        let complete = reassembly.insert(pkt);
+        if complete.is_some() {
+            server.inflight.remove(&key);
+            server.executing.insert(key);
+        }
+        complete
+    };
+    let Some(message) = complete else { return };
+
+    let service = node.services.read().get(&port).cloned();
+    match service {
+        None => {
+            let frames = encode_reply(PacketKind::NoService, port, key.1, Bytes::new());
+            finish_transaction(node, key, frames);
+        }
+        Some(service) => {
+            // Run the handler on its own thread so it may block (e.g. the
+            // DSM server forwarding a page request to another node).
+            let node = Arc::clone(node);
+            std::thread::Builder::new()
+                .name(format!("ratp-handler-{}-p{port}", node.endpoint.id()))
+                .spawn(move || {
+                    let reply = service.handle(Request {
+                        src,
+                        payload: message,
+                    });
+                    let frames = encode_reply(PacketKind::Reply, 0, key.1, reply);
+                    finish_transaction(&node, key, frames);
+                })
+                .expect("spawn ratp handler thread");
+        }
+    }
+}
+
+fn encode_reply(kind: PacketKind, port: u16, txn: u64, reply: Bytes) -> Arc<Vec<Bytes>> {
+    Arc::new(
+        fragment(kind, port, txn, reply)
+            .into_iter()
+            .map(|p| p.encode())
+            .collect(),
+    )
+}
+
+fn finish_transaction(node: &Arc<RatpNode>, key: (NodeId, u64), frames: Arc<Vec<Bytes>>) {
+    {
+        let mut server = node.server.lock();
+        server.executing.remove(&key);
+        server.replied.insert(key, Arc::clone(&frames));
+        server.replied_order.push_back(key);
+        while server.replied_order.len() > node.config.dup_cache_size {
+            if let Some(old) = server.replied_order.pop_front() {
+                server.replied.remove(&old);
+            }
+        }
+    }
+    for frame in frames.iter() {
+        node.endpoint.clock().charge(node.cost().transport_packet);
+        let _ = node.endpoint.send(key.0, frame.clone());
+    }
+}
+
+fn handle_reply_fragment(node: &Arc<RatpNode>, pkt: Packet) {
+    let mut pending = node.pending.lock();
+    let Some(slot) = pending.get_mut(&pkt.txn) else {
+        return; // stale reply for a finished call
+    };
+    if pkt.kind == PacketKind::NoService {
+        let _ = slot.reply_tx.send(Err(CallError::ServiceNotFound(pkt.port)));
+        pending.remove(&pkt.txn);
+        return;
+    }
+    let reassembly = slot
+        .reassembly
+        .get_or_insert_with(|| Reassembly::new(pkt.frag_count));
+    if let Some(message) = reassembly.insert(pkt) {
+        let _ = slot.reply_tx.send(Ok(message));
+    }
+}

@@ -1,0 +1,273 @@
+//! RaTP wire format.
+//!
+//! Every frame carries exactly one packet:
+//!
+//! ```text
+//! byte 0      kind        (1 = request fragment, 2 = reply fragment,
+//!                          3 = negative reply: service not found)
+//! bytes 1..3  port        destination service (requests) / 0 (replies)
+//! bytes 3..11 txn         transaction id (client node id << 32 | counter)
+//! bytes 11..13 frag_index fragment number, 0-based
+//! bytes 13..15 frag_count total fragments in the message
+//! bytes 15..  payload     fragment payload
+//! ```
+
+use bytes::{Bytes, BytesMut};
+use clouds_simnet::MTU;
+
+/// Bytes of RaTP header per fragment.
+pub const HEADER_LEN: usize = 15;
+
+/// Maximum payload bytes carried by one fragment.
+pub const MAX_FRAGMENT_PAYLOAD: usize = MTU - HEADER_LEN;
+
+/// Packet type discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PacketKind {
+    /// Fragment of a client request.
+    Request = 1,
+    /// Fragment of a server reply.
+    Reply = 2,
+    /// Negative reply: no service is registered on the requested port.
+    NoService = 3,
+}
+
+impl PacketKind {
+    fn from_u8(v: u8) -> Option<PacketKind> {
+        match v {
+            1 => Some(PacketKind::Request),
+            2 => Some(PacketKind::Reply),
+            3 => Some(PacketKind::NoService),
+            _ => None,
+        }
+    }
+}
+
+/// One RaTP packet (a single fragment of a message transaction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Packet type.
+    pub kind: PacketKind,
+    /// Destination service port (meaningful for requests).
+    pub port: u16,
+    /// Transaction identifier, unique per originating client.
+    pub txn: u64,
+    /// This fragment's index, `0..frag_count`.
+    pub frag_index: u16,
+    /// Total number of fragments in the message.
+    pub frag_count: u16,
+    /// Fragment payload.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Serialize to wire bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`MAX_FRAGMENT_PAYLOAD`]; fragments
+    /// are produced by the crate's fragmentation, which respects the limit.
+    pub fn encode(&self) -> Bytes {
+        assert!(self.payload.len() <= MAX_FRAGMENT_PAYLOAD);
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        buf.extend_from_slice(&[self.kind as u8]);
+        buf.extend_from_slice(&self.port.to_le_bytes());
+        buf.extend_from_slice(&self.txn.to_le_bytes());
+        buf.extend_from_slice(&self.frag_index.to_le_bytes());
+        buf.extend_from_slice(&self.frag_count.to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Parse from wire bytes; `None` on malformed input.
+    pub fn decode(mut raw: Bytes) -> Option<Packet> {
+        if raw.len() < HEADER_LEN {
+            return None;
+        }
+        let header = raw.split_to(HEADER_LEN);
+        let kind = PacketKind::from_u8(header[0])?;
+        let port = u16::from_le_bytes([header[1], header[2]]);
+        let txn = u64::from_le_bytes(header[3..11].try_into().ok()?);
+        let frag_index = u16::from_le_bytes([header[11], header[12]]);
+        let frag_count = u16::from_le_bytes([header[13], header[14]]);
+        if frag_count == 0 || frag_index >= frag_count {
+            return None;
+        }
+        Some(Packet {
+            kind,
+            port,
+            txn,
+            frag_index,
+            frag_count,
+            payload: raw,
+        })
+    }
+}
+
+/// Split a message into fragments ready for transmission.
+///
+/// An empty message still produces one (empty) fragment so the receiver
+/// learns about the transaction.
+///
+/// # Panics
+///
+/// Panics if the message would need more than `u16::MAX` fragments
+/// (≈97 MB), far beyond any Clouds transfer.
+pub fn fragment(kind: PacketKind, port: u16, txn: u64, message: Bytes) -> Vec<Packet> {
+    let frag_count = message.len().div_ceil(MAX_FRAGMENT_PAYLOAD).max(1);
+    assert!(frag_count <= u16::MAX as usize, "message too large for RaTP");
+    let mut out = Vec::with_capacity(frag_count);
+    for i in 0..frag_count {
+        let start = i * MAX_FRAGMENT_PAYLOAD;
+        let end = ((i + 1) * MAX_FRAGMENT_PAYLOAD).min(message.len());
+        out.push(Packet {
+            kind,
+            port,
+            txn,
+            frag_index: i as u16,
+            frag_count: frag_count as u16,
+            payload: message.slice(start..end),
+        });
+    }
+    out
+}
+
+/// Reassembly buffer for one in-flight message.
+#[derive(Debug)]
+pub(crate) struct Reassembly {
+    frag_count: u16,
+    received: Vec<Option<Bytes>>,
+    have: u16,
+}
+
+impl Reassembly {
+    pub(crate) fn new(frag_count: u16) -> Reassembly {
+        Reassembly {
+            frag_count,
+            received: vec![None; frag_count as usize],
+            have: 0,
+        }
+    }
+
+    /// Insert a fragment; returns the full message when complete.
+    /// Duplicate or inconsistent fragments are ignored.
+    pub(crate) fn insert(&mut self, pkt: Packet) -> Option<Bytes> {
+        if pkt.frag_count != self.frag_count
+            || pkt.frag_index >= self.frag_count
+            || self.received.is_empty()
+        {
+            // Inconsistent fragment, or a duplicate arriving after the
+            // message already completed and the buffer was drained.
+            return None;
+        }
+        let slot = &mut self.received[pkt.frag_index as usize];
+        if slot.is_none() {
+            *slot = Some(pkt.payload);
+            self.have += 1;
+        }
+        if self.have == self.frag_count {
+            let mut whole = BytesMut::new();
+            for piece in self.received.drain(..) {
+                whole.extend_from_slice(&piece.expect("all fragments present"));
+            }
+            Some(whole.freeze())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = Packet {
+            kind: PacketKind::Request,
+            port: 42,
+            txn: 0xDEADBEEF,
+            frag_index: 2,
+            frag_count: 5,
+            payload: Bytes::from_static(b"chunk"),
+        };
+        let decoded = Packet::decode(p.encode()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Packet::decode(Bytes::from_static(b"short")).is_none());
+        // Bad kind byte.
+        let mut raw = vec![9u8; HEADER_LEN];
+        raw[13] = 1; // frag_count = 1
+        assert!(Packet::decode(Bytes::from(raw)).is_none());
+        // frag_count == 0.
+        let p = Packet {
+            kind: PacketKind::Reply,
+            port: 0,
+            txn: 1,
+            frag_index: 0,
+            frag_count: 1,
+            payload: Bytes::new(),
+        };
+        let mut raw = p.encode().to_vec();
+        raw[13] = 0;
+        raw[14] = 0;
+        assert!(Packet::decode(Bytes::from(raw)).is_none());
+    }
+
+    #[test]
+    fn fragment_empty_message() {
+        let frags = fragment(PacketKind::Request, 1, 7, Bytes::new());
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].frag_count, 1);
+        assert!(frags[0].payload.is_empty());
+    }
+
+    #[test]
+    fn fragment_and_reassemble_out_of_order() {
+        let msg: Vec<u8> = (0..(3 * MAX_FRAGMENT_PAYLOAD + 17))
+            .map(|i| (i % 256) as u8)
+            .collect();
+        let mut frags = fragment(PacketKind::Reply, 0, 9, Bytes::from(msg.clone()));
+        assert_eq!(frags.len(), 4);
+        frags.reverse();
+        let mut re = Reassembly::new(4);
+        let mut result = None;
+        for f in frags {
+            result = re.insert(f);
+        }
+        assert_eq!(&result.unwrap()[..], &msg[..]);
+    }
+
+    #[test]
+    fn reassembly_ignores_duplicates() {
+        let msg = Bytes::from(vec![1u8; 2 * MAX_FRAGMENT_PAYLOAD]);
+        let frags = fragment(PacketKind::Reply, 0, 9, msg.clone());
+        let mut re = Reassembly::new(2);
+        assert!(re.insert(frags[0].clone()).is_none());
+        assert!(re.insert(frags[0].clone()).is_none()); // dup
+        let whole = re.insert(frags[1].clone()).unwrap();
+        assert_eq!(whole.len(), msg.len());
+    }
+
+    #[test]
+    fn reassembly_ignores_duplicate_after_completion() {
+        let msg = Bytes::from_static(b"done");
+        let frags = fragment(PacketKind::Reply, 0, 9, msg);
+        let mut re = Reassembly::new(1);
+        assert!(re.insert(frags[0].clone()).is_some());
+        // A straggling duplicate must be ignored, not panic.
+        assert!(re.insert(frags[0].clone()).is_none());
+    }
+
+    #[test]
+    fn fragments_respect_mtu() {
+        let msg = Bytes::from(vec![0u8; 50_000]);
+        for f in fragment(PacketKind::Request, 3, 11, msg) {
+            assert!(f.encode().len() <= MTU);
+        }
+    }
+}

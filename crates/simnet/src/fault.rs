@@ -1,0 +1,98 @@
+//! Fault injection: loss, duplication, partitions.
+//!
+//! Node crash/restart is handled by [`crate::Network`] itself; this module
+//! holds the *link* fault state. All randomness is drawn from the
+//! network's seeded RNG so experiments are reproducible.
+
+use crate::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// Declarative description of link faults, applied via
+/// [`crate::Network::set_faults`] or mutated piecemeal through the
+/// `Network` convenience methods.
+///
+/// ```
+/// use clouds_simnet::{FaultPlan, NodeId};
+/// let mut plan = FaultPlan::default();
+/// plan.global_loss = 0.1;
+/// plan.link_loss.insert((NodeId(1), NodeId(2)), 1.0);
+/// assert_eq!(plan.loss_probability(NodeId(1), NodeId(2)), 1.0);
+/// assert_eq!(plan.loss_probability(NodeId(2), NodeId(1)), 0.1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that any frame is dropped.
+    pub global_loss: f64,
+    /// Per-directed-link loss probability, overriding `global_loss`.
+    pub link_loss: HashMap<(NodeId, NodeId), f64>,
+    /// Probability in `[0, 1]` that a delivered frame is duplicated.
+    pub duplication: f64,
+    /// Pairs of nodes that cannot communicate (both directions).
+    pub partitions: HashSet<(NodeId, NodeId)>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Effective loss probability for a frame `src → dst`.
+    pub fn loss_probability(&self, src: NodeId, dst: NodeId) -> f64 {
+        *self.link_loss.get(&(src, dst)).unwrap_or(&self.global_loss)
+    }
+
+    /// Whether `a` and `b` are separated by a partition.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitions.contains(&Self::key(a, b))
+    }
+
+    /// Cut communication between every node in `left` and every node in
+    /// `right`.
+    pub fn partition(&mut self, left: &[NodeId], right: &[NodeId]) {
+        for &a in left {
+            for &b in right {
+                self.partitions.insert(Self::key(a, b));
+            }
+        }
+    }
+
+    /// Remove all partitions.
+    pub fn heal(&mut self) {
+        self.partitions.clear();
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_symmetric() {
+        let mut p = FaultPlan::none();
+        p.partition(&[NodeId(1)], &[NodeId(2), NodeId(3)]);
+        assert!(p.is_partitioned(NodeId(1), NodeId(2)));
+        assert!(p.is_partitioned(NodeId(2), NodeId(1)));
+        assert!(p.is_partitioned(NodeId(3), NodeId(1)));
+        assert!(!p.is_partitioned(NodeId(2), NodeId(3)));
+        p.heal();
+        assert!(!p.is_partitioned(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn link_loss_overrides_global() {
+        let mut p = FaultPlan::none();
+        p.global_loss = 0.25;
+        p.link_loss.insert((NodeId(5), NodeId(6)), 0.0);
+        assert_eq!(p.loss_probability(NodeId(5), NodeId(6)), 0.0);
+        assert_eq!(p.loss_probability(NodeId(6), NodeId(5)), 0.25);
+    }
+}

@@ -1,0 +1,69 @@
+//! Network traffic counters, used by the experiments (e.g. DSM page
+//! traffic in experiment E4).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters maintained by the network; snapshot with
+/// [`Stats::snapshot`].
+#[derive(Debug, Default)]
+pub(crate) struct Stats {
+    pub frames_sent: AtomicU64,
+    pub bytes_sent: AtomicU64,
+    pub frames_dropped: AtomicU64,
+    pub frames_duplicated: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn snapshot(&self) -> NetworkStats {
+        NetworkStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_duplicated: self.frames_duplicated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of network traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Frames successfully enqueued for delivery.
+    pub frames_sent: u64,
+    /// Total payload bytes of delivered frames.
+    pub bytes_sent: u64,
+    /// Frames dropped by loss, partitions, or crashed destinations.
+    pub frames_dropped: u64,
+    /// Extra copies injected by duplication faults.
+    pub frames_duplicated: u64,
+}
+
+impl NetworkStats {
+    /// Difference between two snapshots (`self` must be the later one).
+    pub fn since(&self, earlier: &NetworkStats) -> NetworkStats {
+        NetworkStats {
+            frames_sent: self.frames_sent - earlier.frames_sent,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            frames_dropped: self.frames_dropped - earlier.frames_dropped,
+            frames_duplicated: self.frames_duplicated - earlier.frames_duplicated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let s = Stats::default();
+        s.frames_sent.store(10, Ordering::Relaxed);
+        s.bytes_sent.store(100, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.frames_sent.store(15, Ordering::Relaxed);
+        s.bytes_sent.store(180, Ordering::Relaxed);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.frames_sent, 5);
+        assert_eq!(d.bytes_sent, 80);
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: the paper's §2.4 rectangle example, end to end.
+//!
+//! Builds a small Clouds configuration (one compute server, one data
+//! server, one user workstation), loads the `rectangle` class, creates
+//! the instance `Rect01`, sets its size and computes its area — the
+//! paper's `printf("%d\n", rect.area())` printing 50.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use clouds::prelude::*;
+
+/// ```text
+/// clouds_class rectangle;
+///   int x, y;              // persistent data for rect.
+///   entry rectangle;       // constructor
+///   entry size (int x, y); // set size of rect.
+///   entry int area ();     // return area of rect.
+/// end_class
+/// ```
+struct Rectangle;
+
+impl ObjectCode for Rectangle {
+    fn construct(&self, ctx: &mut Invocation<'_>) -> Result<(), CloudsError> {
+        // `entry rectangle` — the constructor: a fresh unit square.
+        ctx.persistent().write_i32(0, 1)?;
+        ctx.persistent().write_i32(4, 1)
+    }
+
+    fn dispatch(&self, entry: &str, ctx: &mut Invocation<'_>, args: &[u8]) -> EntryResult {
+        match entry {
+            "size" => {
+                let (x, y): (i32, i32) = decode_args(args)?;
+                ctx.persistent().write_i32(0, x)?;
+                ctx.persistent().write_i32(4, y)?;
+                encode_result(&())
+            }
+            "area" => {
+                let x = ctx.persistent().read_i32(0)?;
+                let y = ctx.persistent().read_i32(4)?;
+                encode_result(&(x * y))
+            }
+            other => Err(CloudsError::NoSuchEntryPoint(other.to_string())),
+        }
+    }
+}
+
+fn main() -> Result<(), CloudsError> {
+    println!("booting Clouds: 1 compute server, 1 data server, 1 workstation");
+    let cluster = Cluster::builder()
+        .compute_servers(1)
+        .data_servers(1)
+        .workstations(1)
+        .build()?;
+
+    println!("loading class `rectangle` (the CC++ compiler's job in 1988)");
+    cluster.register_class("rectangle", Rectangle)?;
+
+    let ws = cluster.workstation(0);
+    println!("creating instance and registering user name Rect01");
+    let sysname = ws.create_object("rectangle", "Rect01")?;
+    println!("  sysname = {sysname}");
+
+    // rect.bind("Rect01"); rect.size(5, 10); printf("%d\n", rect.area());
+    ws.run_wait("Rect01", "size", &(5i32, 10i32))?;
+    let area: i32 = ws.run_wait_decode("Rect01", "area", &())?;
+    println!("Rect01.area() = {area}");
+    assert_eq!(area, 50);
+
+    // The object is persistent: a brand-new thread, later, still sees it.
+    let again: i32 = ws.run_wait_decode("Rect01", "area", &())?;
+    assert_eq!(again, 50);
+    println!("persistent across threads; virtual time spent: {}", {
+        let clock = cluster
+            .network()
+            .clock(cluster.compute(0).node_id())
+            .expect("compute clock");
+        clock.now()
+    });
+    Ok(())
+}
