@@ -1,0 +1,589 @@
+//! Whole-system chaos workloads: each test runs a real workload on a
+//! freshly booted system while a seeded [`FaultSchedule`] crashes nodes,
+//! opens partitions and degrades links, then checks system-wide
+//! invariants after the schedule heals. Failures panic with a seed that
+//! replays the exact schedule (`CHAOS_SEED=0x… cargo test -p
+//! clouds-chaos <test>`).
+//!
+//! Tuning via environment: `CHAOS_SCHEDULES` (runs per workload),
+//! `CHAOS_SEED` (replay one), `CHAOS_HORIZON_MS`, `CHAOS_BASE_SEED`.
+
+use clouds::prelude::*;
+use clouds::{decode_args, encode_result};
+use clouds_chaos::{run_chaos, ChaosConfig, Pacer};
+use clouds_consistency::{ConsistencyRuntime, CpOptions};
+use clouds_pet::{resilient_invoke, PetOptions, ReplicatedObject};
+use clouds_ratp::RatpConfig;
+use clouds_simnet::{CostModel, FaultSchedule, Network, NodeId};
+use std::time::Duration;
+
+/// Real-time budget the pacer gets to sweep one schedule to its horizon.
+const PACER_BUDGET: Duration = Duration::from_millis(250);
+
+/// Server RaTP settings with a starvation-proof failure detector. The
+/// default ~3 s retransmission budget doubles as "the peer is dead":
+/// on an oversubscribed host (CI runners, `cargo test --workspace` on a
+/// small machine) a merely *starved* thread can stay silent that long,
+/// the DSM then reclaims its dirty page and a committed update is
+/// clobbered — a genuine availability-over-consistency trade that chaos
+/// runs must not trip by accident. Schedules heal within
+/// [`PACER_BUDGET`] of real time, so the longer budget never slows a
+/// healthy run; it only raises the bar for declaring a node dead.
+fn patient_ratp() -> RatpConfig {
+    RatpConfig {
+        retry_interval: Duration::from_millis(15),
+        max_retries: 800,
+        dup_cache_size: 4096,
+    }
+}
+
+fn err<E: std::fmt::Display>(what: &str) -> impl Fn(E) -> String + '_ {
+    move |e| format!("{what}: {e}")
+}
+
+// ---------------------------------------------------------------------------
+// Workload 1: ledger records through the consistency runtime.
+// Invariant family: committed-durable / uncommitted-invisible.
+// ---------------------------------------------------------------------------
+
+/// The full_system ledger, reduced to its essentials: a persistent
+/// linked list plus a count, written under gcp semantics.
+struct Ledger;
+
+impl ObjectCode for Ledger {
+    fn construct(&self, ctx: &mut Invocation<'_>) -> Result<(), CloudsError> {
+        ctx.persistent().write_u64(0, 0)
+    }
+
+    fn dispatch(&self, entry: &str, ctx: &mut Invocation<'_>, args: &[u8]) -> EntryResult {
+        match entry {
+            "record" => {
+                let (item, qty): (String, u64) = decode_args(args)?;
+                let count = ctx.persistent().read_u64(0)?;
+                let node = ctx.persistent().heap_alloc(64)?;
+                let head = ctx.persistent().read_u64(8)?;
+                let encoded = clouds_codec::to_bytes(&(item, qty))
+                    .map_err(|e| CloudsError::BadArguments(e.to_string()))?;
+                ctx.persistent()
+                    .heap_write(node, &(encoded.len() as u64).to_le_bytes())?;
+                ctx.persistent().heap_write(node + 8, &encoded)?;
+                ctx.persistent().heap_write(node + 48, &head.to_le_bytes())?;
+                ctx.persistent().write_u64(8, node)?;
+                ctx.persistent().write_u64(0, count + 1)?;
+                encode_result(&(count + 1))
+            }
+            "count" => encode_result(&ctx.persistent().read_u64(0)?),
+            "dump" => {
+                let mut items: Vec<(String, u64)> = Vec::new();
+                let mut cursor = ctx.persistent().read_u64(8)?;
+                while cursor != 0 {
+                    let len = u64::from_le_bytes(
+                        ctx.persistent().heap_read(cursor, 8)?.try_into().expect("8"),
+                    );
+                    let raw = ctx.persistent().heap_read(cursor + 8, len as usize)?;
+                    items.push(
+                        clouds_codec::from_bytes(&raw)
+                            .map_err(|e| CloudsError::BadArguments(e.to_string()))?,
+                    );
+                    cursor = u64::from_le_bytes(
+                        ctx.persistent().heap_read(cursor + 48, 8)?.try_into().expect("8"),
+                    );
+                }
+                encode_result(&items)
+            }
+            other => Err(CloudsError::NoSuchEntryPoint(other.to_string())),
+        }
+    }
+
+    fn label(&self, entry: &str) -> OperationLabel {
+        match entry {
+            "record" => OperationLabel::Gcp,
+            _ => OperationLabel::S,
+        }
+    }
+}
+
+#[test]
+fn ledger_commits_survive_chaos() {
+    let cfg = ChaosConfig::from_env(13);
+    // 2 compute servers + 2 data servers, all crashable.
+    let nodes = [NodeId(1), NodeId(2), NodeId(100), NodeId(101)];
+    run_chaos("ledger", &cfg, &nodes, |schedule: &FaultSchedule| {
+        let cluster = Cluster::builder()
+            .compute_servers(2)
+            .data_servers(2)
+            .workstations(0)
+            .cost_model(CostModel::zero())
+            .seed(schedule.seed)
+            .server_ratp_config(patient_ratp())
+            .build()
+            .map_err(err("cluster boot"))?;
+        cluster
+            .register_class("ledger", Ledger)
+            .map_err(err("register class"))?;
+        let runtime = ConsistencyRuntime::install(&cluster);
+        let obj = cluster
+            .create_object("ledger", "ChaosLedger")
+            .map_err(err("create object"))?;
+
+        let net = cluster.network().clone();
+        net.set_schedule(schedule);
+        let pacer = Pacer::drive(&net, cfg.horizon, PACER_BUDGET);
+
+        // Short lock waits and few retries: a record blocked by a fault is
+        // allowed to fail — the invariants cover both outcomes.
+        let opts = CpOptions {
+            lock_wait_ms: 150,
+            max_retries: 3,
+        };
+        let mut attempted = Vec::new();
+        let mut confirmed = Vec::new();
+        for i in 0..5u64 {
+            let item = format!("item-{i}");
+            attempted.push(item.clone());
+            let args = clouds::encode_args(&(item.clone(), i + 1)).map_err(err("encode"))?;
+            if runtime
+                .invoke(
+                    cluster.compute((i % 2) as usize),
+                    OperationLabel::Gcp,
+                    obj,
+                    "record",
+                    &args,
+                    &opts,
+                )
+                .is_ok()
+            {
+                confirmed.push(item);
+            }
+        }
+        pacer.finish();
+
+        // Post-heal reads are S-labeled (no locks) and must succeed.
+        let unit = clouds::encode_args(&()).map_err(err("encode"))?;
+        let dump: Vec<(String, u64)> = decode_args(
+            &cluster
+                .compute(0)
+                .invoke(obj, "dump", &unit, None)
+                .map_err(err("post-heal dump"))?,
+        )
+        .map_err(err("decode dump"))?;
+        let count: u64 = decode_args(
+            &cluster
+                .compute(0)
+                .invoke(obj, "count", &unit, None)
+                .map_err(err("post-heal count"))?,
+        )
+        .map_err(err("decode count"))?;
+
+        // Invariants: the count matches the list; no record is ever
+        // duplicated; every confirmed record is durable; nothing appears
+        // that was never attempted.
+        if count as usize != dump.len() {
+            return Err(format!(
+                "count {count} disagrees with dump length {} — torn commit",
+                dump.len()
+            ));
+        }
+        let names: Vec<&String> = dump.iter().map(|(n, _)| n).collect();
+        for name in &names {
+            if names.iter().filter(|n| ***n == **name).count() > 1 {
+                return Err(format!("record {name} appears more than once"));
+            }
+            if !attempted.contains(name) {
+                return Err(format!("phantom record {name} was never attempted"));
+            }
+        }
+        for item in &confirmed {
+            if !names.contains(&item) {
+                return Err(format!("confirmed record {item} lost after heal"));
+            }
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 2: DSM writers on dedicated pages.
+// Invariant family: one-copy semantics + no lost write-backs.
+// ---------------------------------------------------------------------------
+
+mod dsm_bed {
+    use clouds_dsm::{DsmClientPartition, DsmServer};
+    use clouds_ra::{AddressSpace, PageCache, Partition};
+    use clouds_ratp::{RatpConfig, RatpNode};
+    use clouds_simnet::{Network, NodeId};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    pub fn server(net: &Network, id: NodeId) -> Arc<DsmServer> {
+        let ratp = RatpNode::spawn(
+            net.register(id).expect("register data server"),
+            // Same starvation-proof budget as `patient_ratp`: recalls
+            // must not declare a starved writer dead on a loaded host.
+            RatpConfig {
+                retry_interval: Duration::from_millis(15),
+                max_retries: 800,
+                dup_cache_size: 4096,
+            },
+        );
+        DsmServer::install(&ratp)
+    }
+
+    pub fn client(net: &Network, id: NodeId, data: Vec<NodeId>) -> Arc<DsmClientPartition> {
+        let ratp = RatpNode::spawn(
+            net.register(id).expect("register client"),
+            RatpConfig {
+                retry_interval: Duration::from_millis(5),
+                max_retries: 2_400,
+                dup_cache_size: 4096,
+            },
+        );
+        DsmClientPartition::install(&ratp, Arc::new(PageCache::new(16)), data)
+    }
+
+    pub fn space(
+        part: &Arc<DsmClientPartition>,
+        seg: clouds_ra::SysName,
+        pages: u64,
+    ) -> AddressSpace {
+        let mut s = AddressSpace::new(
+            Arc::clone(part.cache()),
+            Arc::clone(part) as Arc<dyn Partition>,
+        );
+        s.map(0, seg, 0, pages * clouds_ra::PAGE_SIZE as u64, true)
+            .expect("map segment");
+        s
+    }
+}
+
+#[test]
+fn dsm_writes_survive_chaos() {
+    use clouds_ra::{Partition as _, PAGE_SIZE};
+    let cfg = ChaosConfig::from_env(13);
+    const WRITERS: usize = 2;
+    const ROUNDS: u64 = 8;
+    let data_node = NodeId(100);
+    // Writers and the data server are all crashable.
+    let nodes = [NodeId(1), NodeId(2), data_node];
+    run_chaos("dsm", &cfg, &nodes, |schedule: &FaultSchedule| {
+        let net = Network::with_seed(CostModel::zero(), schedule.seed);
+        let server = dsm_bed::server(&net, data_node);
+        let seg = SysName::from_parts(31, 1);
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| dsm_bed::client(&net, NodeId(1 + w as u32), vec![data_node]))
+            .collect();
+        writers[0]
+            .create_segment(seg, WRITERS as u64 * PAGE_SIZE as u64)
+            .map_err(err("create segment"))?;
+        let spaces: Vec<_> = writers
+            .iter()
+            .map(|c| dsm_bed::space(c, seg, WRITERS as u64))
+            .collect();
+
+        net.set_schedule(schedule);
+        let pacer = Pacer::drive(&net, cfg.horizon, PACER_BUDGET);
+
+        // Each writer owns one page and writes strictly increasing round
+        // numbers, confirming durability with an explicit flush. A write
+        // or flush interrupted by a fault is allowed to fail.
+        let mut attempted = [0u64; WRITERS];
+        let mut confirmed = [0u64; WRITERS];
+        let mut confirmed_flushes = 0u64;
+        for round in 1..=ROUNDS {
+            for (w, space) in spaces.iter().enumerate() {
+                let addr = w as u64 * PAGE_SIZE as u64;
+                if space.write_u64(addr, round).is_ok() {
+                    attempted[w] = round;
+                    if space.flush().is_ok() {
+                        confirmed[w] = round;
+                        confirmed_flushes += 1;
+                    }
+                }
+            }
+        }
+        pacer.finish();
+
+        // Two fresh clients: every page readable, both agree (one-copy),
+        // and the value is the last confirmed write or a later attempted
+        // one — never older than confirmed, never invented.
+        let fresh_a = dsm_bed::client(&net, NodeId(11), vec![data_node]);
+        let fresh_b = dsm_bed::client(&net, NodeId(12), vec![data_node]);
+        let sa = dsm_bed::space(&fresh_a, seg, WRITERS as u64);
+        let sb = dsm_bed::space(&fresh_b, seg, WRITERS as u64);
+        for w in 0..WRITERS {
+            let addr = w as u64 * PAGE_SIZE as u64;
+            let va = sa.read_u64(addr).map_err(err("post-heal read"))?;
+            if va < confirmed[w] || va > attempted[w] {
+                return Err(format!(
+                    "page {w}: read {va}, confirmed {} attempted {} — lost write-back",
+                    confirmed[w], attempted[w]
+                ));
+            }
+            let vb = sb.read_u64(addr).map_err(err("post-heal read"))?;
+            if vb != va {
+                return Err(format!(
+                    "page {w}: fresh clients disagree ({va} vs {vb}) — one-copy violated"
+                ));
+            }
+        }
+        // Exclusive-ownership probe: the directory must still be able to
+        // reclaim every page for a new exclusive writer.
+        for w in 0..WRITERS {
+            let addr = w as u64 * PAGE_SIZE as u64;
+            let probe = 1_000 + w as u64;
+            sa.write_u64(addr, probe).map_err(err("post-heal write"))?;
+            sa.flush().map_err(err("post-heal flush"))?;
+            let got = sb.read_u64(addr).map_err(err("post-heal read"))?;
+            if got != probe {
+                return Err(format!(
+                    "page {w}: probe write read back {got}, want {probe} — stale exclusive copy"
+                ));
+            }
+        }
+        // Stats cross-check: every confirmed flush put a dirty page on
+        // the server, so the server must account at least that many
+        // write-backs.
+        let stats = server.stats();
+        if stats.write_backs < confirmed_flushes {
+            return Err(format!(
+                "server write_backs {} < confirmed flushes {confirmed_flushes}: {stats:?}",
+                stats.write_backs
+            ));
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 3: PET resilient invocations on a replicated object.
+// Invariant family: quorum commit + replica agreement.
+// ---------------------------------------------------------------------------
+
+/// Replicated tally whose whole state lives in one page, so every commit
+/// propagates the complete state and any torn page image is detectable:
+/// offset 0 = sum, offset 8 = op count, offsets 16.. = op ids.
+struct Tally;
+
+impl ObjectCode for Tally {
+    fn construct(&self, ctx: &mut Invocation<'_>) -> Result<(), CloudsError> {
+        ctx.persistent().write_u64(0, 0)?;
+        ctx.persistent().write_u64(8, 0)
+    }
+
+    fn dispatch(&self, entry: &str, ctx: &mut Invocation<'_>, args: &[u8]) -> EntryResult {
+        match entry {
+            "apply" => {
+                let (id, qty): (u64, u64) = decode_args(args)?;
+                let sum = ctx.persistent().read_u64(0)?;
+                let n = ctx.persistent().read_u64(8)?;
+                ctx.persistent().write_u64(16 + n * 8, id)?;
+                ctx.persistent().write_u64(8, n + 1)?;
+                ctx.persistent().write_u64(0, sum + qty)?;
+                encode_result(&(sum + qty))
+            }
+            "peek" => {
+                let sum = ctx.persistent().read_u64(0)?;
+                let n = ctx.persistent().read_u64(8)?;
+                let mut ids = Vec::new();
+                for i in 0..n {
+                    ids.push(ctx.persistent().read_u64(16 + i * 8)?);
+                }
+                encode_result(&(sum, ids))
+            }
+            other => Err(CloudsError::NoSuchEntryPoint(other.to_string())),
+        }
+    }
+
+    fn label(&self, entry: &str) -> OperationLabel {
+        match entry {
+            "apply" => OperationLabel::Gcp,
+            _ => OperationLabel::S,
+        }
+    }
+}
+
+#[test]
+fn pet_replicas_agree_after_chaos() {
+    let cfg = ChaosConfig::from_env(13);
+    // Only data servers are crashable: a compute server that dies while
+    // holding replica locks can never release them (no lock leases yet),
+    // which would wedge the workload rather than test it.
+    let nodes = [NodeId(100), NodeId(101), NodeId(102)];
+    run_chaos("pet", &cfg, &nodes, |schedule: &FaultSchedule| {
+        let cluster = Cluster::builder()
+            .compute_servers(3)
+            .data_servers(3)
+            .workstations(0)
+            .cost_model(CostModel::zero())
+            .seed(schedule.seed)
+            .server_ratp_config(patient_ratp())
+            .build()
+            .map_err(err("cluster boot"))?;
+        cluster
+            .register_class("tally", Tally)
+            .map_err(err("register class"))?;
+        let _runtime = ConsistencyRuntime::install(&cluster);
+        let robj =
+            ReplicatedObject::create(cluster.compute(0), "tally", 3).map_err(err("replicate"))?;
+        let quorum = robj.degree() / 2 + 1;
+        let opts = PetOptions {
+            pets: 2,
+            write_quorum: None,
+            lock_wait_ms: 500,
+        };
+
+        let net = cluster.network().clone();
+        net.set_schedule(schedule);
+        let pacer = Pacer::drive(&net, cfg.horizon, PACER_BUDGET);
+
+        let qty = |id: u64| id + 1;
+        let mut attempted = Vec::new();
+        for id in 0..3u64 {
+            attempted.push(id);
+            let args = clouds::encode_args(&(id, qty(id))).map_err(err("encode"))?;
+            if let Ok(outcome) = resilient_invoke(cluster.computes(), &robj, "apply", &args, &opts)
+            {
+                if outcome.committed_replicas.len() < quorum {
+                    return Err(format!(
+                        "confirmed commit reached only {} replicas (quorum {quorum})",
+                        outcome.committed_replicas.len()
+                    ));
+                }
+            }
+        }
+        pacer.finish();
+
+        // Post-heal, a fault-free resilient invocation must succeed and
+        // reach a quorum.
+        let final_id = 99u64;
+        attempted.push(final_id);
+        let args = clouds::encode_args(&(final_id, qty(final_id))).map_err(err("encode"))?;
+        let final_outcome = resilient_invoke(cluster.computes(), &robj, "apply", &args, &opts)
+            .map_err(err("post-heal resilient invoke"))?;
+        if final_outcome.committed_replicas.len() < quorum {
+            return Err(format!(
+                "post-heal commit reached only {} replicas (quorum {quorum})",
+                final_outcome.committed_replicas.len()
+            ));
+        }
+
+        // Every replica the final commit reached holds the complete state
+        // page: internally consistent, no duplicated or phantom ops, and
+        // byte-for-byte agreement across the quorum.
+        let unit = clouds::encode_args(&()).map_err(err("encode"))?;
+        let mut views: Vec<(u64, Vec<u64>)> = Vec::new();
+        for &r in &final_outcome.committed_replicas {
+            let view: (u64, Vec<u64>) = decode_args(
+                &cluster
+                    .compute(0)
+                    .invoke(robj.replica(r).sysname, "peek", &unit, None)
+                    .map_err(err("post-heal peek"))?,
+            )
+            .map_err(err("decode peek"))?;
+            let (sum, ids) = &view;
+            let mut dedup = ids.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            if dedup.len() != ids.len() {
+                return Err(format!("replica {r}: duplicated op ids {ids:?}"));
+            }
+            for id in ids {
+                if !attempted.contains(id) {
+                    return Err(format!("replica {r}: phantom op id {id}"));
+                }
+            }
+            if *sum != ids.iter().map(|&id| qty(id)).sum::<u64>() {
+                return Err(format!(
+                    "replica {r}: sum {sum} inconsistent with ops {ids:?} — torn page"
+                ));
+            }
+            if !ids.contains(&final_id) {
+                return Err(format!("replica {r}: missing the post-heal commit"));
+            }
+            views.push(view);
+        }
+        if views.windows(2).any(|w| w[0] != w[1]) {
+            return Err(format!("quorum replicas disagree after heal: {views:?}"));
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 4: raw RaTP transactions.
+// Invariant family: at-most-once handler execution.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ratp_executes_at_most_once_under_chaos() {
+    use bytes::Bytes;
+    use clouds_ratp::{RatpConfig, RatpNode, Request};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    let cfg = ChaosConfig::from_env(13);
+    const PORT: u16 = 40;
+    const CALLS: u64 = 30;
+    let nodes = [NodeId(1), NodeId(2)];
+    run_chaos("ratp", &cfg, &nodes, |schedule: &FaultSchedule| {
+        let net = Network::with_seed(CostModel::zero(), schedule.seed);
+        let ratp_cfg = RatpConfig {
+            retry_interval: Duration::from_millis(5),
+            max_retries: 400,
+            dup_cache_size: 4096,
+        };
+        let client = RatpNode::spawn(net.register(NodeId(1)).unwrap(), ratp_cfg.clone());
+        let server = RatpNode::spawn(net.register(NodeId(2)).unwrap(), ratp_cfg);
+        let executed: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&executed);
+        server.register_service(PORT, move |req: Request| {
+            let id = u64::from_le_bytes(req.payload[..8].try_into().expect("8-byte id"));
+            log.lock().push(id);
+            Bytes::copy_from_slice(&id.to_le_bytes())
+        });
+
+        net.set_schedule(schedule);
+        let pacer = Pacer::drive(&net, cfg.horizon, PACER_BUDGET);
+
+        // Each id is sent in exactly one transaction; retransmission,
+        // duplication and reordering inside that transaction must never
+        // re-execute the handler.
+        let mut confirmed = Vec::new();
+        for id in 0..CALLS {
+            let payload = Bytes::copy_from_slice(&id.to_le_bytes());
+            if let Ok(reply) = client.call(NodeId(2), PORT, payload) {
+                let echoed = u64::from_le_bytes(reply[..8].try_into().expect("8-byte reply"));
+                if echoed != id {
+                    return Err(format!("call {id} answered with {echoed} — crossed replies"));
+                }
+                confirmed.push(id);
+            }
+        }
+        pacer.finish();
+
+        // Post-heal the transport must work again.
+        let last = 0xFFFFu64;
+        client
+            .call(NodeId(2), PORT, Bytes::copy_from_slice(&last.to_le_bytes()))
+            .map_err(err("post-heal call"))?;
+
+        let log = executed.lock();
+        for id in (0..CALLS).chain([last]) {
+            let hits = log.iter().filter(|&&e| e == id).count();
+            if hits > 1 {
+                return Err(format!("request {id} executed {hits} times — at-most-once broken"));
+            }
+            if confirmed.contains(&id) && hits == 0 {
+                return Err(format!("request {id} confirmed but never executed"));
+            }
+        }
+        for e in log.iter() {
+            if *e >= CALLS && *e != last {
+                return Err(format!(
+                    "phantom request id {e:#x} executed — corrupted frame accepted"
+                ));
+            }
+        }
+        Ok(())
+    });
+}

@@ -28,6 +28,7 @@ pub struct ClusterBuilder {
     seed: u64,
     cpus: usize,
     cache_frames: usize,
+    server_ratp: Option<RatpConfig>,
 }
 
 impl Default for ClusterBuilder {
@@ -40,6 +41,7 @@ impl Default for ClusterBuilder {
             seed: 0xC10D5,
             cpus: 4,
             cache_frames: 512,
+            server_ratp: None,
         }
     }
 }
@@ -88,6 +90,20 @@ impl ClusterBuilder {
         self
     }
 
+    /// Override the RaTP settings used by compute and data servers.
+    ///
+    /// The retransmission budget doubles as the failure detector: a peer
+    /// silent for the whole budget is treated as dead (recalled pages are
+    /// reclaimed, calls fail). Test harnesses that stall nodes for real
+    /// wall-clock time — chaos schedules, heavily loaded CI machines —
+    /// should raise the budget so a merely *slow* node is not declared
+    /// dead, which would otherwise sacrifice one-copy semantics to
+    /// availability.
+    pub fn server_ratp_config(mut self, config: RatpConfig) -> Self {
+        self.server_ratp = Some(config);
+        self
+    }
+
     /// Boot the cluster.
     ///
     /// # Errors
@@ -112,12 +128,13 @@ impl ClusterBuilder {
             .map(|i| NodeId(COMPUTE_BASE + i as u32))
             .collect();
         let naming_server = data_nodes[0];
+        let server_ratp = self.server_ratp.unwrap_or_else(server_ratp_config);
 
         // Data servers first so the DSM clients can discover them.
         let datas: Vec<DataServer> = data_nodes
             .iter()
             .enumerate()
-            .map(|(i, &node)| DataServer::boot(&net, node, server_ratp_config(), i == 0))
+            .map(|(i, &node)| DataServer::boot(&net, node, server_ratp.clone(), i == 0))
             .collect();
 
         let computes: Vec<ComputeServer> = compute_nodes
@@ -129,7 +146,7 @@ impl ClusterBuilder {
                     data_nodes.clone(),
                     naming_server,
                     registry.clone(),
-                    server_ratp_config(),
+                    server_ratp.clone(),
                     self.cpus,
                     self.cache_frames,
                 )

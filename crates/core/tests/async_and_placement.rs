@@ -12,20 +12,35 @@ impl ObjectCode for Fanout {
     fn dispatch(&self, entry: &str, ctx: &mut Invocation<'_>, args: &[u8]) -> EntryResult {
         match entry {
             "slow_add" => {
-                let delta: u64 = decode_args(args)?;
+                // Each caller owns a distinct slot: slow_add is an s-thread,
+                // so concurrent read-modify-writes of a *shared* word would
+                // be a lost-update race (that spectrum is E5's subject, not
+                // this test's).
+                let (slot, delta): (u64, u64) = decode_args(args)?;
                 std::thread::sleep(std::time::Duration::from_millis(20));
-                let v = ctx.persistent().read_u64(0)? + delta;
-                ctx.persistent().write_u64(0, v)?;
+                let v = ctx.persistent().read_u64(slot * 8)? + delta;
+                ctx.persistent().write_u64(slot * 8, v)?;
                 encode_result(&v)
             }
-            "get" => encode_result(&ctx.persistent().read_u64(0)?),
+            "total" => {
+                let slots: u64 = decode_args(args)?;
+                let mut sum = 0;
+                for slot in 0..slots {
+                    sum += ctx.persistent().read_u64(slot * 8)?;
+                }
+                encode_result(&sum)
+            }
             "fan" => {
                 // Start three asynchronous children on this server, then
                 // continue immediately and finally collect their results.
                 let (peer, n): (SysName, u64) = decode_args(args)?;
                 let handles: Vec<_> = (0..n)
-                    .map(|_| {
-                        ctx.invoke_async(peer, "slow_add", &clouds::encode_args(&1u64).expect("args"))
+                    .map(|slot| {
+                        ctx.invoke_async(
+                            peer,
+                            "slow_add",
+                            &clouds::encode_args(&(slot, 1u64)).expect("args"),
+                        )
                     })
                     .collect();
                 // The caller keeps working while children run.
@@ -71,7 +86,7 @@ fn asynchronous_invocations_run_concurrently() {
     let final_b: u64 = decode_args(
         &cluster
             .compute(0)
-            .invoke(b, "get", &clouds::encode_args(&()).unwrap(), None)
+            .invoke(b, "total", &clouds::encode_args(&3u64).unwrap(), None)
             .unwrap(),
     )
     .unwrap();
@@ -103,7 +118,7 @@ fn least_loaded_placement_avoids_busy_server() {
             cluster.compute(0).start_thread(
                 obj,
                 "slow_add",
-                clouds::encode_args(&0u64).unwrap(),
+                clouds::encode_args(&(0u64, 0u64)).unwrap(),
                 None,
             )
         })

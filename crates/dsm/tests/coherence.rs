@@ -239,6 +239,41 @@ fn segment_destroy_propagates() {
 }
 
 #[test]
+fn server_stats_match_hand_computed_counts() {
+    // A fully deterministic single-page scenario whose coherence traffic
+    // can be counted by hand from the protocol rules:
+    //
+    //   1. A writes   — page Idle, granted Exclusive(A).      wg=1
+    //   2. B reads    — recall Downgrade to A (dirty copy):
+    //                   write-back + downgrade, then grant.    wb=1 dg=1 rg=1
+    //   3. B writes   — page Shared{A,B}: Reclaim A's clean
+    //                   copy, grant Exclusive(B).              inv=1 wg=2
+    //   4. A reads    — recall Downgrade to B (dirty copy).    wb=2 dg=2 rg=2
+    let bed = Bed::new(1);
+    let s = seg(10);
+    let a = bed.client(1, 16);
+    let b = bed.client(2, 16);
+    a.part.create_segment(s, PAGE_SIZE as u64).unwrap();
+    let sa = a.space(s, 1);
+    let sb = b.space(s, 1);
+
+    let before = bed.servers[0].stats();
+    sa.write_u64(0, 1).unwrap();
+    assert_eq!(sb.read_u64(0).unwrap(), 1);
+    sb.write_u64(0, 2).unwrap();
+    assert_eq!(sa.read_u64(0).unwrap(), 2);
+    let stats = bed.servers[0].stats();
+
+    assert_eq!(stats.write_grants - before.write_grants, 2, "{stats:?}");
+    assert_eq!(stats.read_grants - before.read_grants, 2, "{stats:?}");
+    assert_eq!(stats.downgrades - before.downgrades, 2, "{stats:?}");
+    assert_eq!(stats.invalidations - before.invalidations, 1, "{stats:?}");
+    assert_eq!(stats.write_backs - before.write_backs, 2, "{stats:?}");
+    // Fault-free network: every recall must have been acknowledged.
+    assert_eq!(stats.ack_timeouts, 0, "{stats:?}");
+}
+
+#[test]
 fn randomized_writers_converge_to_one_copy() {
     use rand::{Rng, SeedableRng};
     let bed = Bed::new(2);

@@ -41,7 +41,7 @@ mod node;
 mod packet;
 
 pub use node::{CallError, RatpConfig, RatpNode, Request, Service};
-pub use packet::{Packet, PacketKind, MAX_FRAGMENT_PAYLOAD};
+pub use packet::{fragment, Packet, PacketKind, Reassembly, HEADER_LEN, MAX_FRAGMENT_PAYLOAD};
 
 #[cfg(test)]
 mod tests {

@@ -15,9 +15,14 @@ use std::time::Duration;
 /// Configuration knobs for a RaTP node.
 #[derive(Debug, Clone)]
 pub struct RatpConfig {
-    /// Real-time interval between request retransmissions.
+    /// Initial real-time interval between request retransmissions. The
+    /// wait doubles after each silent attempt (capped at 8×) so a dead or
+    /// partitioned peer is probed ever more gently.
     pub retry_interval: Duration,
-    /// Retransmission budget for [`RatpNode::call`] before giving up.
+    /// Retransmission budget for [`RatpNode::call`], expressed in units of
+    /// `retry_interval`: a call waits at most `(max_retries + 1) ×
+    /// retry_interval` of wall-clock time before giving up, however the
+    /// backoff spreads the attempts.
     pub max_retries: u32,
     /// Number of answered transactions remembered for duplicate
     /// suppression / reply replay.
@@ -248,7 +253,13 @@ impl RatpNode {
             .collect();
 
         let result = (|| {
-            for _attempt in 0..=max_retries {
+            // Bounded exponential backoff: `remaining` is the wall-clock
+            // budget in units of `retry_interval`, and each silent attempt
+            // doubles the next wait (capped at 8×). The total time before
+            // giving up stays (max_retries + 1) × retry_interval.
+            let mut remaining = max_retries as u64 + 1;
+            let mut backoff: u64 = 1;
+            while remaining > 0 {
                 for frame in &frames {
                     // Transport-layer processing cost per transmitted packet.
                     self.endpoint
@@ -256,10 +267,13 @@ impl RatpNode {
                         .charge(self.cost().transport_packet);
                     self.endpoint.send(dst, frame.clone())?;
                 }
-                if let Ok(outcome) = reply_rx.recv_timeout(self.config.retry_interval) {
+                let units = backoff.min(remaining);
+                let wait = self.config.retry_interval * units as u32;
+                if let Ok(outcome) = reply_rx.recv_timeout(wait) {
                     return outcome;
                 }
-                // else: retransmit on the next loop iteration
+                remaining -= units;
+                backoff = (backoff * 2).min(8);
             }
             Err(CallError::TimedOut)
         })();

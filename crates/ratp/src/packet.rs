@@ -9,14 +9,31 @@
 //! bytes 3..11 txn         transaction id (client node id << 32 | counter)
 //! bytes 11..13 frag_index fragment number, 0-based
 //! bytes 13..15 frag_count total fragments in the message
-//! bytes 15..  payload     fragment payload
+//! bytes 15..19 checksum   FNV-1a over the whole packet (checksum field
+//!                          zeroed); corrupted frames fail [`Packet::decode`]
+//!                          and are re-covered by retransmission
+//! bytes 19..  payload     fragment payload
 //! ```
 
 use bytes::{Bytes, BytesMut};
 use clouds_simnet::MTU;
 
 /// Bytes of RaTP header per fragment.
-pub const HEADER_LEN: usize = 15;
+pub const HEADER_LEN: usize = 19;
+
+/// Byte offset of the checksum field within the header.
+const CHECKSUM_OFFSET: usize = 15;
+
+/// FNV-1a, 32-bit, over a packet image with the checksum field zeroed.
+fn checksum(parts: &[&[u8]]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for part in parts {
+        for &b in *part {
+            h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}
 
 /// Maximum payload bytes carried by one fragment.
 pub const MAX_FRAGMENT_PAYLOAD: usize = MTU - HEADER_LEN;
@@ -76,14 +93,24 @@ impl Packet {
         buf.extend_from_slice(&self.txn.to_le_bytes());
         buf.extend_from_slice(&self.frag_index.to_le_bytes());
         buf.extend_from_slice(&self.frag_count.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]); // checksum placeholder
         buf.extend_from_slice(&self.payload);
+        let sum = checksum(&[&buf]);
+        buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&sum.to_le_bytes());
         buf.freeze()
     }
 
-    /// Parse from wire bytes; `None` on malformed input.
+    /// Parse from wire bytes; `None` on malformed or corrupted input.
     pub fn decode(mut raw: Bytes) -> Option<Packet> {
         if raw.len() < HEADER_LEN {
             return None;
+        }
+        let stored = u32::from_le_bytes(
+            raw[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].try_into().ok()?,
+        );
+        let computed = checksum(&[&raw[..CHECKSUM_OFFSET], &[0u8; 4], &raw[CHECKSUM_OFFSET + 4..]]);
+        if stored != computed {
+            return None; // bit rot in transit; the sender will retransmit
         }
         let header = raw.split_to(HEADER_LEN);
         let kind = PacketKind::from_u8(header[0])?;
@@ -135,14 +162,15 @@ pub fn fragment(kind: PacketKind, port: u16, txn: u64, message: Bytes) -> Vec<Pa
 
 /// Reassembly buffer for one in-flight message.
 #[derive(Debug)]
-pub(crate) struct Reassembly {
+pub struct Reassembly {
     frag_count: u16,
     received: Vec<Option<Bytes>>,
     have: u16,
 }
 
 impl Reassembly {
-    pub(crate) fn new(frag_count: u16) -> Reassembly {
+    /// Fresh buffer expecting `frag_count` fragments.
+    pub fn new(frag_count: u16) -> Reassembly {
         Reassembly {
             frag_count,
             received: vec![None; frag_count as usize],
@@ -152,7 +180,7 @@ impl Reassembly {
 
     /// Insert a fragment; returns the full message when complete.
     /// Duplicate or inconsistent fragments are ignored.
-    pub(crate) fn insert(&mut self, pkt: Packet) -> Option<Bytes> {
+    pub fn insert(&mut self, pkt: Packet) -> Option<Bytes> {
         if pkt.frag_count != self.frag_count
             || pkt.frag_index >= self.frag_count
             || self.received.is_empty()
@@ -215,6 +243,45 @@ mod tests {
         let mut raw = p.encode().to_vec();
         raw[13] = 0;
         raw[14] = 0;
+        assert!(Packet::decode(Bytes::from(raw)).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_any_single_bit_flip() {
+        let p = Packet {
+            kind: PacketKind::Request,
+            port: 7,
+            txn: 0x0123_4567_89AB_CDEF,
+            frag_index: 0,
+            frag_count: 1,
+            payload: Bytes::from_static(b"payload under test"),
+        };
+        let wire = p.encode();
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut damaged = wire.to_vec();
+                damaged[byte] ^= 1 << bit;
+                assert!(
+                    Packet::decode(Bytes::from(damaged)).is_none(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_covers_payload_not_just_header() {
+        let a = Packet {
+            kind: PacketKind::Reply,
+            port: 0,
+            txn: 3,
+            frag_index: 0,
+            frag_count: 1,
+            payload: Bytes::from_static(b"aaaa"),
+        };
+        let mut raw = a.encode().to_vec();
+        // Swap the payload wholesale while keeping the header: must fail.
+        raw[HEADER_LEN..].copy_from_slice(b"bbbb");
         assert!(Packet::decode(Bytes::from(raw)).is_none());
     }
 

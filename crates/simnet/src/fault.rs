@@ -1,9 +1,11 @@
-//! Fault injection: loss, duplication, partitions.
+//! Fault injection: loss, duplication, jitter, reordering, corruption,
+//! partitions.
 //!
 //! Node crash/restart is handled by [`crate::Network`] itself; this module
 //! holds the *link* fault state. All randomness is drawn from the
 //! network's seeded RNG so experiments are reproducible.
 
+use crate::time::Vt;
 use crate::NodeId;
 use std::collections::{HashMap, HashSet};
 
@@ -29,6 +31,15 @@ pub struct FaultPlan {
     pub duplication: f64,
     /// Pairs of nodes that cannot communicate (both directions).
     pub partitions: HashSet<(NodeId, NodeId)>,
+    /// Maximum extra delivery delay; each frame gets a uniform draw from
+    /// `[0, jitter]` added to its modeled wire delay.
+    pub jitter: Vt,
+    /// Probability in `[0, 1]` that a frame is held back and delivered
+    /// after later traffic to the same destination (reordering).
+    pub reorder: f64,
+    /// Probability in `[0, 1]` that a delivered frame has one payload byte
+    /// flipped in transit.
+    pub corruption: f64,
 }
 
 impl FaultPlan {
@@ -57,9 +68,33 @@ impl FaultPlan {
         }
     }
 
+    /// Reconnect every node in `left` with every node in `right`,
+    /// removing exactly the pairs a matching [`FaultPlan::partition`]
+    /// call added. Other partitions stay in force.
+    pub fn unpartition(&mut self, left: &[NodeId], right: &[NodeId]) {
+        for &a in left {
+            for &b in right {
+                self.partitions.remove(&Self::key(a, b));
+            }
+        }
+    }
+
     /// Remove all partitions.
+    ///
+    /// This *only* reconnects partitioned nodes; probabilistic faults
+    /// (loss, duplication, jitter, reordering, corruption) remain in
+    /// force. Use [`FaultPlan::clear`] to return to a fault-free network.
     pub fn heal(&mut self) {
         self.partitions.clear();
+    }
+
+    /// Reset *all* fault state — loss (global and per-link), duplication,
+    /// partitions, jitter, reordering and corruption — back to the
+    /// fault-free default. Unlike [`FaultPlan::heal`], which only removes
+    /// partitions, `clear` makes the plan equivalent to
+    /// [`FaultPlan::none`].
+    pub fn clear(&mut self) {
+        *self = FaultPlan::default();
     }
 
     fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -94,5 +129,57 @@ mod tests {
         p.link_loss.insert((NodeId(5), NodeId(6)), 0.0);
         assert_eq!(p.loss_probability(NodeId(5), NodeId(6)), 0.0);
         assert_eq!(p.loss_probability(NodeId(6), NodeId(5)), 0.25);
+    }
+
+    #[test]
+    fn unpartition_removes_only_matching_pairs() {
+        let mut p = FaultPlan::none();
+        p.partition(&[NodeId(1)], &[NodeId(2)]);
+        p.partition(&[NodeId(3)], &[NodeId(4)]);
+        p.unpartition(&[NodeId(2)], &[NodeId(1)]); // order-insensitive
+        assert!(!p.is_partitioned(NodeId(1), NodeId(2)));
+        assert!(p.is_partitioned(NodeId(3), NodeId(4)));
+    }
+
+    #[test]
+    fn heal_leaves_probabilistic_faults_in_force() {
+        let mut p = FaultPlan::none();
+        p.global_loss = 0.5;
+        p.link_loss.insert((NodeId(1), NodeId(2)), 1.0);
+        p.duplication = 0.25;
+        p.jitter = Vt::from_millis(3);
+        p.reorder = 0.1;
+        p.corruption = 0.01;
+        p.partition(&[NodeId(1)], &[NodeId(2)]);
+
+        p.heal();
+        assert!(!p.is_partitioned(NodeId(1), NodeId(2)));
+        assert_eq!(p.global_loss, 0.5);
+        assert_eq!(p.loss_probability(NodeId(1), NodeId(2)), 1.0);
+        assert_eq!(p.duplication, 0.25);
+        assert_eq!(p.jitter, Vt::from_millis(3));
+        assert_eq!(p.reorder, 0.1);
+        assert_eq!(p.corruption, 0.01);
+    }
+
+    #[test]
+    fn clear_resets_every_fault_axis() {
+        let mut p = FaultPlan::none();
+        p.global_loss = 0.5;
+        p.link_loss.insert((NodeId(1), NodeId(2)), 1.0);
+        p.duplication = 0.25;
+        p.jitter = Vt::from_millis(3);
+        p.reorder = 0.1;
+        p.corruption = 0.01;
+        p.partition(&[NodeId(1)], &[NodeId(2)]);
+
+        p.clear();
+        assert_eq!(p.global_loss, 0.0);
+        assert!(p.link_loss.is_empty());
+        assert_eq!(p.duplication, 0.0);
+        assert!(p.partitions.is_empty());
+        assert_eq!(p.jitter, Vt::ZERO);
+        assert_eq!(p.reorder, 0.0);
+        assert_eq!(p.corruption, 0.0);
     }
 }

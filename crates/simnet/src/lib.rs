@@ -44,6 +44,7 @@ mod cost;
 mod fault;
 mod frame;
 mod network;
+mod schedule;
 mod stats;
 mod time;
 
@@ -51,6 +52,7 @@ pub use cost::CostModel;
 pub use fault::FaultPlan;
 pub use frame::{Frame, MTU};
 pub use network::{Endpoint, Network, RecvError, SendError};
+pub use schedule::{Disruption, DisruptionKind, FaultAction, FaultEvent, FaultSchedule};
 pub use stats::NetworkStats;
 pub use time::{VirtualClock, Vt};
 

@@ -3,6 +3,7 @@
 use crate::cost::CostModel;
 use crate::fault::FaultPlan;
 use crate::frame::{Frame, MTU};
+use crate::schedule::{FaultAction, FaultEvent, FaultSchedule};
 use crate::stats::{NetworkStats, Stats};
 use crate::time::{VirtualClock, Vt};
 use crate::NodeId;
@@ -73,6 +74,20 @@ struct NodeSlot {
     crashed: Arc<AtomicBool>,
 }
 
+/// Compiled [`FaultSchedule`] plus the application cursor.
+#[derive(Default)]
+struct ScheduleState {
+    events: Vec<FaultEvent>,
+    /// Index of the first event not yet applied.
+    next: usize,
+    /// Highest virtual time the schedule has been advanced to.
+    high_water: Vt,
+}
+
+/// Frames held back by reorder faults may queue up to this many per
+/// destination before newer traffic forces delivery.
+const REORDER_LIMBO_CAP: usize = 4;
+
 struct NetInner {
     cost: CostModel,
     nodes: RwLock<HashMap<NodeId, NodeSlot>>,
@@ -80,6 +95,10 @@ struct NetInner {
     rng: Mutex<StdRng>,
     stats: Stats,
     seq: AtomicU64,
+    schedule: Mutex<ScheduleState>,
+    /// Frames held back by reorder faults, per destination; they are
+    /// released after the next normally-delivered frame to that node.
+    limbo: Mutex<HashMap<NodeId, Vec<Frame>>>,
 }
 
 /// Handle to the simulated network; cheap to clone.
@@ -116,6 +135,8 @@ impl Network {
                 rng: Mutex::new(StdRng::seed_from_u64(seed)),
                 stats: Stats::default(),
                 seq: AtomicU64::new(0),
+                schedule: Mutex::new(ScheduleState::default()),
+                limbo: Mutex::new(HashMap::new()),
             }),
         }
     }
@@ -237,6 +258,55 @@ impl Network {
     pub fn stats(&self) -> NetworkStats {
         self.inner.stats.snapshot()
     }
+
+    /// Install a time-varying fault schedule.
+    ///
+    /// The current fault plan is replaced with a clean one; the schedule's
+    /// compiled events then fire as virtual time advances past them.
+    /// Virtual time is observed at each send (the sender's clock), so
+    /// events apply lazily with traffic; use
+    /// [`Network::advance_schedule_to`] to force all events up to an
+    /// instant — e.g. the schedule horizon — regardless of traffic.
+    pub fn set_schedule(&self, schedule: &FaultSchedule) {
+        let events = schedule.events();
+        let mut sched = self.inner.schedule.lock();
+        *self.inner.faults.lock() = FaultPlan::none();
+        *sched = ScheduleState {
+            events,
+            next: 0,
+            high_water: Vt::ZERO,
+        };
+    }
+
+    /// Apply every schedule event with threshold `≤ t` and release any
+    /// frames held back by reorder faults.
+    ///
+    /// Calling this with a time at or past [`FaultSchedule::healed_by`]
+    /// guarantees the network is fully healed: all scheduled crashes have
+    /// restarted, partitions are reconnected, and probabilistic faults are
+    /// back to zero.
+    pub fn advance_schedule_to(&self, t: Vt) {
+        self.inner.apply_schedule(t);
+        self.inner.flush_limbo();
+    }
+
+    /// Number of schedule events not yet applied.
+    pub fn schedule_pending(&self) -> usize {
+        let sched = self.inner.schedule.lock();
+        sched.events.len() - sched.next
+    }
+
+    /// Highest virtual clock across all registered nodes — a convenient
+    /// "global now" for driving [`Network::advance_schedule_to`].
+    pub fn max_now(&self) -> Vt {
+        self.inner
+            .nodes
+            .read()
+            .values()
+            .map(|s| s.clock.now())
+            .max()
+            .unwrap_or(Vt::ZERO)
+    }
 }
 
 impl NetInner {
@@ -244,10 +314,13 @@ impl NetInner {
         if payload.len() > MTU {
             return Err(SendError::FrameTooLarge(payload.len()));
         }
+        // Fire schedule events virtual time has reached, before taking the
+        // node table lock (applying a crash/restart needs it too).
+        self.apply_schedule(src_now);
         let nodes = self.nodes.read();
         let slot = nodes.get(&dst).ok_or(SendError::UnknownNode(dst))?;
 
-        let (lost, duplicated) = {
+        let (lost, duplicated, jitter, corrupt_at, stash) = {
             let faults = self.faults.lock();
             if faults.is_partitioned(src, dst) {
                 self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
@@ -258,7 +331,17 @@ impl NetInner {
             let lost = loss > 0.0 && rng.gen_bool(loss.clamp(0.0, 1.0));
             let duplicated =
                 faults.duplication > 0.0 && rng.gen_bool(faults.duplication.clamp(0.0, 1.0));
-            (lost, duplicated)
+            let jitter = if faults.jitter > Vt::ZERO {
+                Vt::from_nanos(rng.gen_range(0..=faults.jitter.as_nanos()))
+            } else {
+                Vt::ZERO
+            };
+            let corrupt_at = (!payload.is_empty()
+                && faults.corruption > 0.0
+                && rng.gen_bool(faults.corruption.clamp(0.0, 1.0)))
+            .then(|| (rng.gen_range(0..payload.len()), rng.gen_range(0..8u32)));
+            let stash = faults.reorder > 0.0 && rng.gen_bool(faults.reorder.clamp(0.0, 1.0));
+            (lost, duplicated, jitter, corrupt_at, stash)
         };
 
         if slot.crashed.load(Ordering::Acquire) || lost {
@@ -266,7 +349,17 @@ impl NetInner {
             return Ok(());
         }
 
-        let arrival = src_now + self.cost.frame_delay(payload.len());
+        let payload = match corrupt_at {
+            Some((idx, bit)) => {
+                self.stats.frames_corrupted.fetch_add(1, Ordering::Relaxed);
+                let mut bytes = payload.to_vec();
+                bytes[idx] ^= 1 << bit;
+                Bytes::from(bytes)
+            }
+            None => payload,
+        };
+
+        let arrival = src_now + self.cost.frame_delay(payload.len()) + jitter;
         let frame = Frame {
             src,
             dst,
@@ -278,12 +371,98 @@ impl NetInner {
         self.stats
             .bytes_sent
             .fetch_add(frame.len() as u64, Ordering::Relaxed);
+
+        if stash {
+            let mut limbo = self.limbo.lock();
+            let held = limbo.entry(dst).or_default();
+            if held.len() < REORDER_LIMBO_CAP {
+                self.stats.frames_reordered.fetch_add(1, Ordering::Relaxed);
+                held.push(frame);
+                return Ok(());
+            }
+        }
+
         if duplicated {
             self.stats.frames_duplicated.fetch_add(1, Ordering::Relaxed);
             let _ = slot.tx.send(frame.clone());
         }
         let _ = slot.tx.send(frame);
+        // Anything held back for this destination now goes out *after*
+        // the newer frame — that is the reordering.
+        if let Some(held) = self.limbo.lock().remove(&dst) {
+            for f in held {
+                let _ = slot.tx.send(f);
+            }
+        }
         Ok(())
+    }
+
+    /// Apply every schedule event with threshold `≤ now`, in order.
+    fn apply_schedule(&self, now: Vt) {
+        let mut sched = self.schedule.lock();
+        if now > sched.high_water {
+            sched.high_water = now;
+        }
+        while let Some(event) = sched.events.get(sched.next) {
+            if event.at > now {
+                break;
+            }
+            let action = event.action.clone();
+            sched.next += 1;
+            self.apply_action(&action);
+        }
+    }
+
+    fn apply_action(&self, action: &FaultAction) {
+        match action {
+            FaultAction::Crash(id) => {
+                if let Some(slot) = self.nodes.read().get(id) {
+                    slot.crashed.store(true, Ordering::Release);
+                }
+            }
+            FaultAction::Restart(id) => {
+                if let Some(slot) = self.nodes.read().get(id) {
+                    while slot.rx.try_recv().is_ok() {}
+                    slot.crashed.store(false, Ordering::Release);
+                }
+            }
+            FaultAction::Partition { left, right } => self.faults.lock().partition(left, right),
+            FaultAction::Unpartition { left, right } => {
+                self.faults.lock().unpartition(left, right)
+            }
+            FaultAction::SetLoss(p) => self.faults.lock().global_loss = *p,
+            FaultAction::SetDuplication(p) => self.faults.lock().duplication = *p,
+            FaultAction::SetJitter(j) => self.faults.lock().jitter = *j,
+            FaultAction::SetReorder(p) => {
+                self.faults.lock().reorder = *p;
+                if *p == 0.0 {
+                    // The reorder window closed; release held frames so
+                    // none are stranded.
+                    self.flush_limbo();
+                }
+            }
+            FaultAction::SetCorruption(p) => self.faults.lock().corruption = *p,
+        }
+    }
+
+    /// Deliver (or, for crashed destinations, drop) every frame held back
+    /// by reorder faults.
+    fn flush_limbo(&self) {
+        let nodes = self.nodes.read();
+        let drained: Vec<(NodeId, Vec<Frame>)> = self.limbo.lock().drain().collect();
+        for (dst, frames) in drained {
+            if let Some(slot) = nodes.get(&dst) {
+                if slot.crashed.load(Ordering::Acquire) {
+                    self.stats
+                        .frames_dropped
+                        .fetch_add(frames.len() as u64, Ordering::Relaxed);
+                } else {
+                    for f in frames {
+                        let _ = slot.tx.send(f);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -531,5 +710,143 @@ mod tests {
         b.recv_timeout(Duration::from_secs(1)).unwrap();
         // Arrival (≈1.2ms) is in b's past; clock must not rewind.
         assert!(b.clock().now() >= Vt::from_millis(50));
+    }
+
+    // ---- schedule engine -------------------------------------------------
+
+    use crate::schedule::{Disruption, DisruptionKind};
+
+    fn window(at: Vt, until: Vt, kind: DisruptionKind) -> FaultSchedule {
+        FaultSchedule {
+            seed: 0,
+            disruptions: vec![Disruption { at, until, kind }],
+        }
+    }
+
+    #[test]
+    fn schedule_crash_applies_and_recovers_with_virtual_time() {
+        let (net, a, b) = pair(CostModel::zero());
+        net.set_schedule(&window(
+            Vt::from_millis(1),
+            Vt::from_millis(2),
+            DisruptionKind::Crash(NodeId(2)),
+        ));
+        // Before the window: delivered.
+        a.send(NodeId(2), Bytes::from_static(b"pre")).unwrap();
+        assert!(b.try_recv().is_ok());
+        // Advance the sender's clock into the window; sending applies the
+        // crash, so the frame is lost.
+        a.clock().charge(Vt::from_millis(1));
+        a.send(NodeId(2), Bytes::from_static(b"mid")).unwrap();
+        assert!(matches!(b.try_recv(), Err(RecvError::Crashed)));
+        // Past the window: the restart fires before delivery.
+        a.clock().charge(Vt::from_millis(1));
+        a.send(NodeId(2), Bytes::from_static(b"post")).unwrap();
+        assert_eq!(
+            &b.recv_timeout(Duration::from_secs(1)).unwrap().payload[..],
+            b"post"
+        );
+        assert_eq!(net.schedule_pending(), 0);
+    }
+
+    #[test]
+    fn schedule_corruption_flips_exactly_one_bit() {
+        let (net, a, b) = pair(CostModel::zero());
+        net.set_schedule(&window(
+            Vt::ZERO,
+            Vt::from_millis(10),
+            DisruptionKind::Corruption(1.0),
+        ));
+        let sent = vec![0u8; 64];
+        a.send(NodeId(2), Bytes::from(sent.clone())).unwrap();
+        let got = b.recv_timeout(Duration::from_secs(1)).unwrap().payload;
+        let diff_bits: u32 = got.iter().zip(&sent).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert_eq!(diff_bits, 1);
+        assert_eq!(net.stats().frames_corrupted, 1);
+    }
+
+    #[test]
+    fn schedule_reordering_delivers_out_of_order() {
+        let (net, a, b) = pair(CostModel::zero());
+        net.set_schedule(&window(
+            Vt::ZERO,
+            Vt::from_millis(10),
+            DisruptionKind::Reorder(1.0),
+        ));
+        for i in 0..5u8 {
+            a.send(NodeId(2), Bytes::from(vec![i])).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Ok(f) = b.try_recv() {
+            got.push(f.payload[0]);
+        }
+        // All five arrive (the limbo cap forces the flush), out of order.
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert_ne!(got, vec![0, 1, 2, 3, 4]);
+        assert!(net.stats().frames_reordered >= 1);
+    }
+
+    #[test]
+    fn schedule_jitter_delays_arrival() {
+        let (_net, a, b) = pair(CostModel::zero());
+        _net.set_schedule(&window(
+            Vt::ZERO,
+            Vt::from_millis(10),
+            DisruptionKind::Jitter(Vt::from_millis(1)),
+        ));
+        a.send(NodeId(2), Bytes::from_static(b"j")).unwrap();
+        let f = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        // Zero cost model: any delay is pure jitter, within the bound.
+        assert!(f.arrival <= Vt::from_millis(1));
+        assert!(f.arrival > Vt::ZERO);
+    }
+
+    #[test]
+    fn advance_schedule_to_flushes_reorder_limbo() {
+        let (net, a, b) = pair(CostModel::zero());
+        net.set_schedule(&window(
+            Vt::ZERO,
+            Vt::from_millis(1),
+            DisruptionKind::Reorder(1.0),
+        ));
+        a.send(NodeId(2), Bytes::from_static(b"one")).unwrap();
+        a.send(NodeId(2), Bytes::from_static(b"two")).unwrap();
+        // Both are stashed; nothing is deliverable yet.
+        assert!(matches!(b.try_recv(), Err(RecvError::Timeout)));
+        net.advance_schedule_to(Vt::from_millis(2));
+        assert!(b.try_recv().is_ok());
+        assert!(b.try_recv().is_ok());
+        assert_eq!(net.schedule_pending(), 0);
+    }
+
+    #[test]
+    fn generated_schedules_always_heal_by_horizon() {
+        let horizon = Vt::from_millis(20);
+        for seed in 0..10 {
+            let net = Network::with_seed(CostModel::zero(), seed);
+            let a = net.register(NodeId(1)).unwrap();
+            let b = net.register(NodeId(2)).unwrap();
+            let _c = net.register(NodeId(3)).unwrap();
+            let schedule = FaultSchedule::generate(seed, &[NodeId(3)], horizon);
+            net.set_schedule(&schedule);
+            // Drive traffic across the whole horizon so events fire.
+            for step in 0..40u64 {
+                a.clock().charge(Vt::from_micros(500));
+                let _ = a.send(NodeId(2), Bytes::from(step.to_le_bytes().to_vec()));
+            }
+            net.advance_schedule_to(horizon);
+            assert_eq!(net.schedule_pending(), 0, "seed {seed}");
+            assert!(!net.is_crashed(NodeId(3)), "seed {seed}");
+            // Fault-free again: a fresh frame goes straight through.
+            while b.try_recv().is_ok() {}
+            a.send(NodeId(2), Bytes::from_static(b"after")).unwrap();
+            assert_eq!(
+                &b.recv_timeout(Duration::from_secs(1)).unwrap().payload[..],
+                b"after",
+                "seed {seed}"
+            );
+        }
     }
 }

@@ -11,6 +11,8 @@ pub(crate) struct Stats {
     pub bytes_sent: AtomicU64,
     pub frames_dropped: AtomicU64,
     pub frames_duplicated: AtomicU64,
+    pub frames_corrupted: AtomicU64,
+    pub frames_reordered: AtomicU64,
 }
 
 impl Stats {
@@ -20,6 +22,8 @@ impl Stats {
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
             frames_duplicated: self.frames_duplicated.load(Ordering::Relaxed),
+            frames_corrupted: self.frames_corrupted.load(Ordering::Relaxed),
+            frames_reordered: self.frames_reordered.load(Ordering::Relaxed),
         }
     }
 }
@@ -35,6 +39,10 @@ pub struct NetworkStats {
     pub frames_dropped: u64,
     /// Extra copies injected by duplication faults.
     pub frames_duplicated: u64,
+    /// Frames whose payload had a bit flipped by corruption faults.
+    pub frames_corrupted: u64,
+    /// Frames held back and delivered out of order by reorder faults.
+    pub frames_reordered: u64,
 }
 
 impl NetworkStats {
@@ -45,6 +53,8 @@ impl NetworkStats {
             bytes_sent: self.bytes_sent - earlier.bytes_sent,
             frames_dropped: self.frames_dropped - earlier.frames_dropped,
             frames_duplicated: self.frames_duplicated - earlier.frames_duplicated,
+            frames_corrupted: self.frames_corrupted - earlier.frames_corrupted,
+            frames_reordered: self.frames_reordered - earlier.frames_reordered,
         }
     }
 }

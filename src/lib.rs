@@ -3,6 +3,7 @@
 //! Re-exports the public crates so examples and integration tests can use a
 //! single dependency root. See the individual crates for real APIs.
 pub use clouds;
+pub use clouds_chaos as chaos;
 pub use clouds_codec as codec;
 pub use clouds_consistency as consistency;
 pub use clouds_dsm as dsm;

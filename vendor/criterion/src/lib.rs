@@ -1,0 +1,127 @@
+//! Offline criterion shim. Runs each benchmark `sample_size` times, prints
+//! min / mean wall-clock per iteration (plus throughput when configured).
+//! No statistics, plots, or baseline comparison — just honest timings so
+//! `cargo bench` works without the real crate.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // Warm-up pass, unmeasured.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let per_iter: Vec<Duration> = bencher.samples;
+        if per_iter.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return self;
+        }
+        let min = per_iter.iter().min().copied().unwrap_or_default();
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        let mut line = format!(
+            "{}/{id}: min {:?}, mean {:?} over {} samples",
+            self.name,
+            min,
+            mean,
+            per_iter.len()
+        );
+        if let Some(t) = self.throughput {
+            let secs = mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(b) => {
+                    line.push_str(&format!(", {:.1} MiB/s", b as f64 / secs / (1 << 20) as f64));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(", {:.0} elem/s", n as f64 / secs));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one batch of the closure and records the per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed();
+        std::hint::black_box(out);
+        self.samples.push(elapsed);
+    }
+}
+
+/// Re-export so user code written against real criterion's `black_box`
+/// keeps compiling.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

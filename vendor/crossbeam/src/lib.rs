@@ -1,0 +1,5 @@
+//! Offline shim providing `crossbeam::channel` — a multi-producer,
+//! multi-consumer FIFO channel with cloneable receivers — implemented on
+//! `std::sync` primitives. Only the surface used by this workspace.
+
+pub mod channel;

@@ -1,0 +1,564 @@
+//! Offline proptest shim.
+//!
+//! Differences from real proptest, by design: inputs are sampled from a
+//! fixed seed (fully deterministic run-to-run), there is no shrinking, and
+//! `prop_assert*` panics immediately instead of collecting a counterexample.
+//! The surface mirrors what this workspace's tests use.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Test-runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+
+    /// Unrolls `depth` levels of recursion over the leaf strategy, then
+    /// samples uniformly across the levels, so both shallow and deep values
+    /// appear.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut levels = vec![self.boxed()];
+        for _ in 0..depth {
+            let prev = levels.last().expect("at least the leaf level").clone();
+            levels.push(recurse(prev).boxed());
+        }
+        Union { arms: levels }.boxed()
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Type-erased, shareable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------------
+
+/// `any::<T>()` support.
+pub trait ArbitrarySample {
+    fn arbitrary_sample(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_word {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn arbitrary_sample(rng: &mut StdRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_word!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_arbitrary_wide {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn arbitrary_sample(rng: &mut StdRng) -> Self {
+                use rand::RngCore;
+                ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_wide!(u128, i128);
+
+impl ArbitrarySample for bool {
+    fn arbitrary_sample(rng: &mut StdRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl ArbitrarySample for f64 {
+    fn arbitrary_sample(rng: &mut StdRng) -> Self {
+        use rand::RngCore;
+        // Mostly finite values of wildly varying magnitude, occasional
+        // exact bit patterns (which may be inf/NaN) to exercise edge cases.
+        if rng.gen_bool(0.1) {
+            f64::from_bits(rng.next_u64())
+        } else {
+            let mag = rng.gen_range(-300i32..300) as f64;
+            let mantissa: f64 = rng.gen();
+            (mantissa * 2.0 - 1.0) * 10f64.powi(mag as i32)
+        }
+    }
+}
+
+impl ArbitrarySample for f32 {
+    fn arbitrary_sample(rng: &mut StdRng) -> Self {
+        f64::arbitrary_sample(rng) as f32
+    }
+}
+
+impl ArbitrarySample for char {
+    fn arbitrary_sample(rng: &mut StdRng) -> Self {
+        char::from_u32(rng.gen_range(0u32..0xD800)).unwrap_or('\u{FFFD}')
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary_sample(rng)
+    }
+}
+
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String patterns: only the `.{lo,hi}` form this workspace uses — a
+/// printable-ASCII string whose length is uniform in `[lo, hi]`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let spec = self
+            .strip_prefix(".{")
+            .and_then(|s| s.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("string strategy {self:?}: only `.{{lo,hi}}` is supported"));
+        let (lo, hi) = spec
+            .split_once(',')
+            .map(|(a, b)| (a.trim().parse::<usize>(), b.trim().parse::<usize>()))
+            .and_then(|(a, b)| Some((a.ok()?, b.ok()?)))
+            .unwrap_or_else(|| panic!("string strategy {self:?}: bad length bounds"));
+        let len = rng.gen_range(lo..=hi);
+        (0..len).map(|_| rng.gen_range(0x20u32..0x7F) as u8 as char).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident $idx:tt),+),)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (T0 0, T1 1),
+    (T0 0, T1 1, T2 2),
+    (T0 0, T1 1, T2 2, T3 3),
+    (T0 0, T1 1, T2 2, T3 3, T4 4),
+    (T0 0, T1 1, T2 2, T3 3, T4 4, T5 5),
+}
+
+// ---------------------------------------------------------------------------
+// Collections / option
+// ---------------------------------------------------------------------------
+
+/// Element-count bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+pub mod collection {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = rng.gen_range(self.size.lo..=self.size.hi);
+            let mut out = BTreeSet::new();
+            // Duplicates don't grow the set; bound the draw count so small
+            // element domains can't loop forever.
+            for _ in 0..(target * 8 + 16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = rng.gen_range(self.size.lo..=self.size.hi);
+            let mut out = BTreeMap::new();
+            for _ in 0..(target * 8 + 16) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.sample(rng), self.value.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Fixed base seed; each case advances the single RNG stream, so every run
+/// of the binary sees the same inputs.
+pub const BASE_SEED: u64 = 0xC10D_5EED;
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64($crate::BASE_SEED);
+            for __case in 0..__config.cases {
+                let ($($pat,)+) = (
+                    $($crate::Strategy::sample(&($strat), &mut __rng),)+
+                );
+                let __run = || { $body };
+                __run();
+                let _ = __case;
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_and_collections(
+            v in prop::collection::vec(0u32..10, 0..5),
+            s in ".{0,8}",
+            opt in prop::option::of(0i32..3),
+            set in prop::collection::btree_set(0u64..64, 1..8),
+        ) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(s.len() <= 8);
+            if let Some(x) = opt {
+                prop_assert!((0..3).contains(&x));
+            }
+            prop_assert!(!set.is_empty() && set.len() < 8);
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_strategies_terminate(
+            t in any::<u8>().prop_map(Tree::Leaf).boxed().prop_recursive(3, 16, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            })
+        ) {
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 0,
+                    Tree::Node(children) => {
+                        1 + children.iter().map(depth).max().unwrap_or(0)
+                    }
+                }
+            }
+            prop_assert!(depth(&t) <= 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_mixes_arms(x in prop_oneof![Just(1u8), Just(2u8), (3u8..5)]) {
+            prop_assert!((1..5).contains(&x));
+        }
+    }
+}

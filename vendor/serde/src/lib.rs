@@ -1,0 +1,17 @@
+//! Offline mini-serde: a faithful subset of serde's data-model traits,
+//! sufficient for the Clouds codec (a non-self-describing binary format)
+//! and the `#[derive(Serialize, Deserialize)]` types in this workspace.
+//!
+//! What is intentionally absent relative to real serde: zero-copy
+//! deserialization lifetimes beyond `'de` plumbing, field attributes
+//! (`#[serde(...)]`), self-describing formats (`deserialize_any` works
+//! only if the format implements it), and the full `de::value` module.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros (same names as the traits; separate namespace).
+pub use serde_derive::{Deserialize, Serialize};

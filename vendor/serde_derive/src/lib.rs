@@ -1,0 +1,446 @@
+//! `#[derive(Serialize, Deserialize)]` without syn/quote.
+//!
+//! Parses the item's token stream directly. Supported shapes — exactly the
+//! ones appearing in this workspace: unit structs, named-field structs, and
+//! enums whose variants are unit, tuple, or struct-like. No generics, no
+//! `#[serde(...)]` attributes. Variant indices are declaration order, which
+//! matches what the Clouds codec encodes on the wire.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+type Peekable = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attrs_and_vis(iter: &mut Peekable) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+
+    let kind = match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported struct shape for `{name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("serde_derive: `{other}` items are not supported"),
+    };
+
+    Item { name, kind }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                iter.next(); // ':'
+                skip_type_until_comma(&mut iter);
+            }
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+    }
+    names
+}
+
+/// Consume a type, stopping after the top-level `,` (or at end of stream).
+/// `<`/`>` depth tracking keeps commas inside generic arguments from
+/// terminating the field early.
+fn skip_type_until_comma(iter: &mut Peekable) {
+    let mut depth = 0i32;
+    loop {
+        let stop = match iter.peek() {
+            None => true,
+            Some(TokenTree::Punct(p)) => {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                }
+                c == ',' && depth == 0
+            }
+            Some(_) => false,
+        };
+        if stop {
+            iter.next(); // the comma itself (no-op at end of stream)
+            break;
+        }
+        iter.next();
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut pending = false;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' {
+                depth -= 1;
+            } else if c == ',' && depth == 0 {
+                if pending {
+                    count += 1;
+                    pending = false;
+                }
+                continue;
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let mut data = VariantData::Unit;
+        let mut consume_group = false;
+        if let Some(TokenTree::Group(g)) = iter.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    data = VariantData::Tuple(count_tuple_fields(g.stream()));
+                    consume_group = true;
+                }
+                Delimiter::Brace => {
+                    data = VariantData::Struct(parse_named_fields(g.stream()));
+                    consume_group = true;
+                }
+                _ => {}
+            }
+        }
+        if consume_group {
+            iter.next();
+        }
+        // Discriminants don't occur here; next is `,` or end of stream.
+        loop {
+            match iter.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        Kind::UnitStruct => {
+            let _ = write!(body, "__serializer.serialize_unit_struct(\"{name}\")");
+        }
+        Kind::Struct(fields) => {
+            let n = fields.len();
+            let _ = write!(
+                body,
+                "let mut __s = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {n})?;"
+            );
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __s, \"{f}\", &self.{f})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__s)");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.data {
+                    VariantData::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} => __serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),"
+                        );
+                    }
+                    VariantData::Tuple(1) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", __f0),"
+                        );
+                    }
+                    VariantData::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}({}) => {{ let mut __s = __serializer.serialize_tuple_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?;",
+                            pats.join(", ")
+                        );
+                        for p in &pats {
+                            let _ = write!(
+                                body,
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __s, {p})?;"
+                            );
+                        }
+                        body.push_str("::serde::ser::SerializeTupleVariant::end(__s) }");
+                    }
+                    VariantData::Struct(fields) => {
+                        let n = fields.len();
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} {{ {} }} => {{ let mut __s = __serializer.serialize_struct_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?;",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                body,
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __s, \"{f}\", {f})?;"
+                            );
+                        }
+                        body.push_str("::serde::ser::SerializeStructVariant::end(__s) }");
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+
+    format!(
+        "const _: () = {{\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn serialize<__S>(&self, __serializer: __S) -> ::std::result::Result<__S::Ok, __S::Error>\n\
+           where __S: ::serde::Serializer {{ {body} }}\n\
+         }}\n\
+         }};"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// `field: <take next seq element or error>` constructor arms; types are
+/// recovered by inference from the constructor, so the derive never needs to
+/// parse them.
+fn seq_constructor(target: &str, fields: &[String], named: bool) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "::std::result::Result::Ok({target}");
+    out.push_str(if named { " { " } else { "(" });
+    for (i, f) in fields.iter().enumerate() {
+        if named {
+            let _ = write!(out, "{f}: ");
+        }
+        let _ = write!(
+            out,
+            "match ::serde::de::SeqAccess::next_element(&mut __seq)? {{ \
+             ::std::option::Option::Some(__v) => __v, \
+             ::std::option::Option::None => return ::std::result::Result::Err(::serde::de::Error::invalid_length({i}, &self)) }}, "
+        );
+    }
+    out.push_str(if named { "})" } else { "))" });
+    out
+}
+
+fn seq_visitor(vis_name: &str, value_ty: &str, expecting: &str, constructor: &str) -> String {
+    format!(
+        "struct {vis_name};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {vis_name} {{\n\
+           type Value = {value_ty};\n\
+           fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{ __f.write_str(\"{expecting}\") }}\n\
+           fn visit_seq<__A>(self, mut __seq: __A) -> ::std::result::Result<{value_ty}, __A::Error>\n\
+           where __A: ::serde::de::SeqAccess<'de> {{ {constructor} }}\n\
+         }}"
+    )
+}
+
+fn str_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+    format!("&[{}]", quoted.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+               type Value = {name};\n\
+               fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{ __f.write_str(\"unit struct {name}\") }}\n\
+               fn visit_unit<__E: ::serde::de::Error>(self) -> ::std::result::Result<{name}, __E> {{ ::std::result::Result::Ok({name}) }}\n\
+             }}\n\
+             __deserializer.deserialize_unit_struct(\"{name}\", __Visitor)"
+        ),
+        Kind::Struct(fields) => {
+            let visitor = seq_visitor(
+                "__Visitor",
+                name,
+                &format!("struct {name}"),
+                &seq_constructor(name, fields, true),
+            );
+            format!(
+                "{visitor}\n__deserializer.deserialize_struct(\"{name}\", {}, __Visitor)",
+                str_list(fields)
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.data {
+                    VariantData::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{ ::serde::de::VariantAccess::unit_variant(__variant)?; ::std::result::Result::Ok({name}::{vname}) }}"
+                        );
+                    }
+                    VariantData::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => ::std::result::Result::map(::serde::de::VariantAccess::newtype_variant(__variant), {name}::{vname}),"
+                        );
+                    }
+                    VariantData::Tuple(n) => {
+                        let placeholders: Vec<String> =
+                            (0..*n).map(|i| format!("__t{i}")).collect();
+                        let visitor = seq_visitor(
+                            &format!("__V{idx}"),
+                            name,
+                            &format!("tuple variant {name}::{vname}"),
+                            &seq_constructor(&format!("{name}::{vname}"), &placeholders, false),
+                        );
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{ {visitor}\n::serde::de::VariantAccess::tuple_variant(__variant, {n}, __V{idx}) }}"
+                        );
+                    }
+                    VariantData::Struct(fields) => {
+                        let visitor = seq_visitor(
+                            &format!("__V{idx}"),
+                            name,
+                            &format!("struct variant {name}::{vname}"),
+                            &seq_constructor(&format!("{name}::{vname}"), fields, true),
+                        );
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{ {visitor}\n::serde::de::VariantAccess::struct_variant(__variant, {}, __V{idx}) }}",
+                            str_list(fields)
+                        );
+                    }
+                }
+            }
+            let variant_names: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                   type Value = {name};\n\
+                   fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{ __f.write_str(\"enum {name}\") }}\n\
+                   fn visit_enum<__A>(self, __data: __A) -> ::std::result::Result<{name}, __A::Error>\n\
+                   where __A: ::serde::de::EnumAccess<'de> {{\n\
+                     let (__idx, __variant): (u32, __A::Variant) = ::serde::de::EnumAccess::variant(__data)?;\n\
+                     match __idx {{ {arms}\n\
+                       _ => ::std::result::Result::Err(::serde::de::Error::custom(\"variant index out of range for {name}\")) }}\n\
+                   }}\n\
+                 }}\n\
+                 __deserializer.deserialize_enum(\"{name}\", {}, __Visitor)",
+                str_list(&variant_names)
+            )
+        }
+    };
+
+    format!(
+        "const _: () = {{\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           fn deserialize<__D>(__deserializer: __D) -> ::std::result::Result<Self, __D::Error>\n\
+           where __D: ::serde::Deserializer<'de> {{\n{body}\n}}\n\
+         }}\n\
+         }};"
+    )
+}
