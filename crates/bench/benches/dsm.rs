@@ -6,6 +6,7 @@ use clouds_dsm::{DsmClientPartition, DsmServer};
 use clouds_ra::{AddressSpace, PageCache, Partition, SysName, PAGE_SIZE};
 use clouds_ratp::{RatpConfig, RatpNode};
 use clouds_simnet::{CostModel, Network, NodeId};
+use clouds_dsm::proto::{self, ports, DsmReply, DsmRequest};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -51,6 +52,84 @@ fn bench_dsm(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched-paging benches: a cold 1 MiB sequential scan (read-ahead
+/// collapses ~128 fetch RPCs into ~17) and a 32-dirty-page commit flush
+/// (one coalesced `WriteBackBatch` instead of 32 `WriteBack`s).
+fn bench_dsm_batching(c: &mut Criterion) {
+    const PAGES: u64 = (1 << 20) / PAGE_SIZE as u64; // 1 MiB of pages
+    let net = Network::new(CostModel::zero());
+    let ds = RatpNode::spawn(net.register(NodeId(100)).unwrap(), RatpConfig::default());
+    let server = DsmServer::install(&ds);
+
+    // Seed the canonical store over the raw wire (written back and
+    // released) so scans page from the server, not from another client.
+    let raw = RatpNode::spawn(net.register(NodeId(99)).unwrap(), RatpConfig::default());
+    let scan_seg = SysName::from_parts(9, 10);
+    let call = |req: &DsmRequest| {
+        let reply = raw.call(NodeId(100), ports::DSM_SERVER, proto::encode(req)).unwrap();
+        assert!(matches!(proto::decode(&reply).unwrap(), DsmReply::Ok));
+    };
+    call(&DsmRequest::CreateSegment {
+        seg: scan_seg,
+        len: PAGES * PAGE_SIZE as u64,
+    });
+    for page in 0..PAGES {
+        call(&DsmRequest::WriteBack {
+            seg: scan_seg,
+            page: page as u32,
+            data: vec![page as u8; PAGE_SIZE],
+            release: true,
+        });
+    }
+
+    let mk = |id, frames| {
+        let ratp = RatpNode::spawn(net.register(id).unwrap(), RatpConfig::default());
+        DsmClientPartition::install(&ratp, Arc::new(PageCache::new(frames)), vec![NodeId(100)])
+    };
+    let reader = mk(NodeId(1), 2 * PAGES as usize);
+    let mut rs = AddressSpace::new(
+        Arc::clone(reader.cache()),
+        Arc::clone(&reader) as Arc<dyn Partition>,
+    );
+    rs.map(0, scan_seg, 0, PAGES * PAGE_SIZE as u64, true).unwrap();
+
+    let mut group = c.benchmark_group("dsm");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(PAGES * PAGE_SIZE as u64));
+    group.bench_function("sequential_scan_1mb", |b| {
+        // Cold-start every sample: drop the cached frames and the
+        // server's memory of them, so each scan demand-pages afresh.
+        reader.cache().clear();
+        server.clear_directory();
+        b.iter(|| {
+            for page in 0..PAGES {
+                black_box(rs.read_u64(page * PAGE_SIZE as u64).unwrap());
+            }
+        });
+    });
+
+    const DIRTY: u64 = 32;
+    let writer = mk(NodeId(2), 64);
+    let flush_seg = SysName::from_parts(9, 11);
+    writer
+        .create_segment(flush_seg, DIRTY * PAGE_SIZE as u64)
+        .unwrap();
+    let mut ws = AddressSpace::new(
+        Arc::clone(writer.cache()),
+        Arc::clone(&writer) as Arc<dyn Partition>,
+    );
+    ws.map(0, flush_seg, 0, DIRTY * PAGE_SIZE as u64, true).unwrap();
+    group.throughput(Throughput::Bytes(DIRTY * PAGE_SIZE as u64));
+    group.bench_function("commit_flush_32_dirty", |b| {
+        // Re-dirty the working set outside the timed region.
+        for page in 0..DIRTY {
+            ws.write_u64(page * PAGE_SIZE as u64, page).unwrap();
+        }
+        b.iter(|| ws.flush().unwrap());
+    });
+    group.finish();
+}
+
 fn bench_codec(c: &mut Criterion) {
     let value: Vec<(String, u64, Vec<u8>)> = (0..64)
         .map(|i| (format!("key-{i}"), i, vec![i as u8; 100]))
@@ -72,5 +151,5 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dsm, bench_codec);
+criterion_group!(benches, bench_dsm, bench_dsm_batching, bench_codec);
 criterion_main!(benches);

@@ -10,7 +10,7 @@
 
 use clouds_bench::report::{ms, print_table, Row};
 use clouds_bench::{
-    consistency_exp, invocation_exp, kernel_exp, network_exp, pet_exp, sort_exp,
+    consistency_exp, invocation_exp, kernel_exp, network_exp, paging_exp, pet_exp, sort_exp,
 };
 
 fn main() {
@@ -172,6 +172,39 @@ fn main() {
     print_table(
         "A1  Ablation: sort speedup vs network generation (design trade-off of §5.1)",
         &rows,
+    );
+
+    // E7 — batched paging ablation: read-ahead grants + coalesced
+    // write-back flushes vs the one-RPC-per-page protocol.
+    let p = paging_exp::run();
+    print_table(
+        "E7  Batched DSM paging: read-ahead + coalesced flush (ablation)",
+        &[
+            Row::new(
+                "128-page sequential scan, unbatched",
+                "(baseline)",
+                ms(p.scan_unbatched.vt),
+                format!("{} fetch RPCs", p.scan_unbatched.rpcs),
+            ),
+            Row::new(
+                "128-page sequential scan, read-ahead 8",
+                "(ours)",
+                ms(p.scan_batched.vt),
+                format!("{} fetch RPCs", p.scan_batched.rpcs),
+            ),
+            Row::new(
+                "32-dirty-page commit flush, per-page",
+                "(baseline)",
+                ms(p.flush_unbatched.vt),
+                format!("{} write-back RPCs", p.flush_unbatched.rpcs),
+            ),
+            Row::new(
+                "32-dirty-page commit flush, coalesced",
+                "(ours)",
+                ms(p.flush_batched.vt),
+                format!("{} write-back RPCs", p.flush_batched.rpcs),
+            ),
+        ],
     );
 
     println!();

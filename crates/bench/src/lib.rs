@@ -16,6 +16,7 @@ pub mod consistency_exp;
 pub mod invocation_exp;
 pub mod kernel_exp;
 pub mod network_exp;
+pub mod paging_exp;
 pub mod pet_exp;
 pub mod report;
 pub mod sort_exp;

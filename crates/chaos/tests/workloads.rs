@@ -355,6 +355,125 @@ fn dsm_writes_survive_chaos() {
 }
 
 // ---------------------------------------------------------------------------
+// Workload 2b: DSM sequential scanner with read-ahead vs a batch-flushing
+// writer. Invariant family: one-copy semantics under speculative grants +
+// no lost write-backs through `WriteBackBatch`.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dsm_read_ahead_scan_survives_chaos() {
+    use clouds_ra::{Partition as _, PAGE_SIZE};
+    let cfg = ChaosConfig::from_env(21);
+    const PAGES: u64 = 16;
+    const ROUNDS: u64 = 6;
+    let data_node = NodeId(100);
+    let nodes = [NodeId(1), NodeId(2), data_node];
+    run_chaos("dsm-scan", &cfg, &nodes, |schedule: &FaultSchedule| {
+        let net = Network::with_seed(CostModel::zero(), schedule.seed);
+        let server = dsm_bed::server(&net, data_node);
+        let seg = SysName::from_parts(31, 2);
+        let writer = dsm_bed::client(&net, NodeId(1), vec![data_node]);
+        let scanner = dsm_bed::client(&net, NodeId(2), vec![data_node]);
+        writer
+            .create_segment(seg, PAGES * PAGE_SIZE as u64)
+            .map_err(err("create segment"))?;
+        let ws = dsm_bed::space(&writer, seg, PAGES);
+        let ss = dsm_bed::space(&scanner, seg, PAGES);
+
+        net.set_schedule(schedule);
+        let pacer = Pacer::drive(&net, cfg.horizon, PACER_BUDGET);
+
+        // The writer stamps every page with `round*1000 + page` and
+        // flushes the whole set — a coalesced `WriteBackBatch` when more
+        // than one write landed. The scanner then sweeps the segment
+        // sequentially, so its faults ride the read-ahead window and the
+        // server's speculative multi-page grants race the writer's
+        // recalls. Every observed value must decode to a round between
+        // the page's last confirmed flush and its last applied write.
+        let mut attempted = [0u64; PAGES as usize];
+        let mut confirmed = [0u64; PAGES as usize];
+        let mut confirmed_batch_flushes = 0u64;
+        for round in 1..=ROUNDS {
+            let mut wrote = Vec::new();
+            for page in 0..PAGES {
+                let addr = page * PAGE_SIZE as u64;
+                if ws.write_u64(addr, round * 1000 + page).is_ok() {
+                    attempted[page as usize] = round;
+                    wrote.push(page as usize);
+                }
+            }
+            if !wrote.is_empty() && ws.flush().is_ok() {
+                for &page in &wrote {
+                    confirmed[page] = round;
+                }
+                if wrote.len() > 1 {
+                    confirmed_batch_flushes += 1;
+                }
+            }
+            for page in 0..PAGES {
+                let Ok(v) = ss.read_u64(page * PAGE_SIZE as u64) else {
+                    break; // fault mid-scan: sequentiality is gone anyway
+                };
+                let (r, p) = (v / 1000, v % 1000);
+                if v != 0 && p != page {
+                    return Err(format!("page {page}: read foreign stamp {v}"));
+                }
+                if r < confirmed[page as usize] || r > attempted[page as usize] {
+                    return Err(format!(
+                        "page {page}: scanner read round {r}, confirmed {} attempted {} \
+                         — speculative grant leaked a stale or lost page",
+                        confirmed[page as usize], attempted[page as usize]
+                    ));
+                }
+            }
+        }
+        pacer.finish();
+
+        // Post-heal: two fresh clients sweep sequentially (read-ahead
+        // engages from page 1) and must agree page-for-page on a value
+        // inside the [confirmed, attempted] window.
+        let fresh_a = dsm_bed::client(&net, NodeId(11), vec![data_node]);
+        let fresh_b = dsm_bed::client(&net, NodeId(12), vec![data_node]);
+        let sa = dsm_bed::space(&fresh_a, seg, PAGES);
+        let sb = dsm_bed::space(&fresh_b, seg, PAGES);
+        for page in 0..PAGES {
+            let addr = page * PAGE_SIZE as u64;
+            let va = sa.read_u64(addr).map_err(err("post-heal read"))?;
+            let r = va / 1000;
+            if r < confirmed[page as usize] || r > attempted[page as usize] {
+                return Err(format!(
+                    "page {page}: post-heal round {r}, confirmed {} attempted {} — lost write-back",
+                    confirmed[page as usize], attempted[page as usize]
+                ));
+            }
+            let vb = sb.read_u64(addr).map_err(err("post-heal read"))?;
+            if vb != va {
+                return Err(format!(
+                    "page {page}: fresh clients disagree ({va} vs {vb}) — one-copy violated"
+                ));
+            }
+        }
+        // The sweep above was sequential from a cold cache, so the
+        // read-ahead detector must have fired at least once.
+        let fa = fresh_a.stats();
+        if fa.batch_fetches == 0 {
+            return Err(format!("fresh sequential sweep never batched: {fa:?}"));
+        }
+        // Stats cross-check: every confirmed multi-page flush went out as
+        // a coalesced batch the server accounted for.
+        let stats = server.stats();
+        if stats.batch_write_backs < confirmed_batch_flushes {
+            return Err(format!(
+                "server batch_write_backs {} < confirmed batch flushes \
+                 {confirmed_batch_flushes}: {stats:?}",
+                stats.batch_write_backs
+            ));
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Workload 3: PET resilient invocations on a replicated object.
 // Invariant family: quorum commit + replica agreement.
 // ---------------------------------------------------------------------------

@@ -264,12 +264,15 @@ impl ConsistencyRuntime {
         match label {
             OperationLabel::Lcp => {
                 // Lightweight: atomic per server, no cross-server 2PC.
-                for (server, pages) in by_server {
-                    let reply = self.call(compute, server, &CommitRequest::ApplyLocal {
-                        txn,
-                        pages,
-                    })?;
-                    if reply != CommitReply::Ok {
+                // Distinct servers are applied in parallel — the commit
+                // costs one round trip regardless of how many data
+                // servers the shadow set spans.
+                let calls: Vec<(NodeId, CommitRequest)> = by_server
+                    .into_iter()
+                    .map(|(server, pages)| (server, CommitRequest::ApplyLocal { txn, pages }))
+                    .collect();
+                for reply in self.call_many(compute, calls) {
+                    if reply? != CommitReply::Ok {
                         return Err(refused("local apply"));
                     }
                 }
@@ -288,25 +291,28 @@ impl ConsistencyRuntime {
     ) -> Result<(), CloudsError> {
         let servers: Vec<NodeId> = by_server.keys().copied().collect();
 
-        // Phase 1: prepare everywhere.
-        let mut all_prepared = true;
-        for (server, pages) in &by_server {
-            match self.call(compute, *server, &CommitRequest::Prepare {
-                txn,
-                pages: pages.clone(),
-            }) {
-                Ok(CommitReply::Ok) => {}
-                _ => {
-                    all_prepared = false;
-                    break;
-                }
-            }
-        }
+        // Phase 1: prepare everywhere, in parallel across participants
+        // (each prepare is an independent vote; the decision only needs
+        // all of them, so the phase costs one round trip, not N).
+        let prepare_calls: Vec<(NodeId, CommitRequest)> = by_server
+            .iter()
+            .map(|(server, pages)| {
+                (
+                    *server,
+                    CommitRequest::Prepare {
+                        txn,
+                        pages: pages.clone(),
+                    },
+                )
+            })
+            .collect();
+        let all_prepared = self
+            .call_many(compute, prepare_calls)
+            .into_iter()
+            .all(|r| matches!(r, Ok(CommitReply::Ok)));
 
         if !all_prepared {
-            for server in &servers {
-                let _ = self.call(compute, *server, &CommitRequest::Abort { txn });
-            }
+            self.broadcast(compute, &servers, |_| CommitRequest::Abort { txn });
             return Err(CloudsError::ConsistencyAbort(format!(
                 "prepare phase failed for txn {txn}"
             )));
@@ -317,21 +323,56 @@ impl ConsistencyRuntime {
         match self.call(compute, self.registry_node, &CommitRequest::RecordOutcome { txn }) {
             Ok(CommitReply::Ok) => {}
             _ => {
-                for server in &servers {
-                    let _ = self.call(compute, *server, &CommitRequest::Abort { txn });
-                }
+                self.broadcast(compute, &servers, |_| CommitRequest::Abort { txn });
                 return Err(CloudsError::ConsistencyAbort(format!(
                     "could not record commit decision for txn {txn}"
                 )));
             }
         }
 
-        // Phase 2: best-effort installs. A participant that misses the
-        // message recovers the verdict from the registry on restart.
-        for server in &servers {
-            let _ = self.call(compute, *server, &CommitRequest::Commit { txn });
-        }
+        // Phase 2: best-effort installs, in parallel (the verdict is
+        // already durable, so order does not matter). A participant that
+        // misses the message recovers the verdict from the registry on
+        // restart.
+        self.broadcast(compute, &servers, |_| CommitRequest::Commit { txn });
         Ok(())
+    }
+
+    /// Issue independent commit-protocol calls concurrently, one thread
+    /// per remote participant, returning replies in request order.
+    fn call_many(
+        &self,
+        compute: &ComputeServer,
+        calls: Vec<(NodeId, CommitRequest)>,
+    ) -> Vec<Result<CommitReply, CloudsError>> {
+        if calls.len() <= 1 {
+            return calls
+                .into_iter()
+                .map(|(server, req)| self.call(compute, server, &req))
+                .collect();
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = calls
+                .into_iter()
+                .map(|(server, req)| s.spawn(move || self.call(compute, server, &req)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("commit call thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Best-effort fan-out of one request shape to every server.
+    fn broadcast(
+        &self,
+        compute: &ComputeServer,
+        servers: &[NodeId],
+        req: impl Fn(NodeId) -> CommitRequest,
+    ) {
+        let calls: Vec<(NodeId, CommitRequest)> =
+            servers.iter().map(|&s| (s, req(s))).collect();
+        let _ = self.call_many(compute, calls);
     }
 
     fn call(

@@ -7,15 +7,69 @@
 //! recall/downgrade requests against the node's page cache.
 
 use crate::proto::{
-    self, ports, DsmReply, DsmRequest, RecallReply, RecallRequest, WireMode,
+    self, ports, DsmReply, DsmRequest, RecallReply, RecallRequest, WireInstallAck, WireMode,
+    WireWriteBack,
 };
-use clouds_ra::{AccessMode, PageCache, PageFetch, Partition, RaError, ReclaimOutcome, SysName};
+use clouds_ra::{
+    AccessMode, PageCache, PageFetch, Partition, RaError, ReclaimOutcome, SysName, WriteBackItem,
+};
 use clouds_ratp::{CallError, RatpNode, Request};
 use clouds_simnet::NodeId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Tunables for a [`DsmClientPartition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsmClientConfig {
+    /// Maximum pages requested per sequential read fault (the faulting
+    /// page plus up to `read_ahead_window - 1` read-ahead pages). Set to
+    /// `0` or `1` to disable read-ahead entirely — every fault then
+    /// issues a single-page `FetchPage` exactly as before.
+    pub read_ahead_window: u32,
+    /// Coalesce [`Partition::write_back_batch`] into one `WriteBackBatch`
+    /// RPC per home server (pipelined across homes). `false` falls back
+    /// to one RPC per page.
+    pub batch_write_backs: bool,
+}
+
+impl Default for DsmClientConfig {
+    fn default() -> DsmClientConfig {
+        DsmClientConfig {
+            read_ahead_window: 8,
+            batch_write_backs: true,
+        }
+    }
+}
+
+/// Client-side paging counters: how much batching actually happened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DsmClientStats {
+    /// Fetch RPCs issued (`FetchPage` + `FetchPages`).
+    pub fetch_rpcs: u64,
+    /// Multi-page `FetchPages` RPCs issued (subset of `fetch_rpcs`).
+    pub batch_fetches: u64,
+    /// Total pages granted across all fetch RPCs.
+    pub pages_granted: u64,
+    /// Read-ahead frames installed into the cache.
+    pub prefetch_installs: u64,
+    /// Faults avoided because read-ahead had the page resident.
+    pub prefetch_hits: u64,
+    /// Read-ahead frames evicted or recalled before first use.
+    pub prefetch_wasted: u64,
+    /// `WriteBackBatch` RPCs issued.
+    pub batch_write_back_rpcs: u64,
+    /// Dirty pages shipped inside those batches.
+    pub pages_written_batched: u64,
+    /// Dirty evictions whose release rode on the write-back message.
+    pub merged_evictions: u64,
+    /// Round trips avoided versus the unbatched protocol: one per
+    /// prefetch hit, one per batched page beyond the first of its RPC,
+    /// and one per merged dirty eviction.
+    pub rtts_saved: u64,
+}
 
 /// A [`Partition`] that pages segments from remote data servers with
 /// coherence. See the crate-level example.
@@ -24,6 +78,17 @@ pub struct DsmClientPartition {
     cache: Arc<PageCache>,
     data_servers: Vec<NodeId>,
     homes: Mutex<HashMap<SysName, NodeId>>,
+    config: DsmClientConfig,
+    /// Sequential-access detector: per segment, the page index one past
+    /// the newest grant. A read fault landing exactly there is part of a
+    /// sequential scan and fetches a whole window.
+    next_expected: Mutex<HashMap<SysName, u32>>,
+    fetch_rpcs: AtomicU64,
+    batch_fetches: AtomicU64,
+    pages_granted: AtomicU64,
+    batch_write_back_rpcs: AtomicU64,
+    pages_written_batched: AtomicU64,
+    merged_evictions: AtomicU64,
 }
 
 impl fmt::Debug for DsmClientPartition {
@@ -47,6 +112,21 @@ impl DsmClientPartition {
         cache: Arc<PageCache>,
         data_servers: Vec<NodeId>,
     ) -> Arc<DsmClientPartition> {
+        DsmClientPartition::install_with_config(ratp, cache, data_servers, DsmClientConfig::default())
+    }
+
+    /// Like [`DsmClientPartition::install`] with explicit tunables (e.g.
+    /// `read_ahead_window: 1` to disable read-ahead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_servers` is empty.
+    pub fn install_with_config(
+        ratp: &Arc<RatpNode>,
+        cache: Arc<PageCache>,
+        data_servers: Vec<NodeId>,
+        config: DsmClientConfig,
+    ) -> Arc<DsmClientPartition> {
         assert!(
             !data_servers.is_empty(),
             "a DSM client needs at least one data server"
@@ -56,6 +136,14 @@ impl DsmClientPartition {
             cache: Arc::clone(&cache),
             data_servers,
             homes: Mutex::new(HashMap::new()),
+            config,
+            next_expected: Mutex::new(HashMap::new()),
+            fetch_rpcs: AtomicU64::new(0),
+            batch_fetches: AtomicU64::new(0),
+            pages_granted: AtomicU64::new(0),
+            batch_write_back_rpcs: AtomicU64::new(0),
+            pages_written_batched: AtomicU64::new(0),
+            merged_evictions: AtomicU64::new(0),
         });
         ratp.register_service(ports::DSM_CLIENT, move |req: Request| {
             let reply = match proto::decode::<RecallRequest>(&req.payload) {
@@ -82,6 +170,32 @@ impl DsmClientPartition {
     /// This node's page cache (the one recalls are served from).
     pub fn cache(&self) -> &Arc<PageCache> {
         &self.cache
+    }
+
+    /// The tunables this partition was installed with.
+    pub fn config(&self) -> DsmClientConfig {
+        self.config
+    }
+
+    /// Snapshot of the client-side paging counters (merges the cache's
+    /// prefetch counters with this partition's RPC counters).
+    pub fn stats(&self) -> DsmClientStats {
+        let cache = self.cache.stats();
+        let batch_rpcs = self.batch_write_back_rpcs.load(Ordering::Relaxed);
+        let batch_pages = self.pages_written_batched.load(Ordering::Relaxed);
+        let merged = self.merged_evictions.load(Ordering::Relaxed);
+        DsmClientStats {
+            fetch_rpcs: self.fetch_rpcs.load(Ordering::Relaxed),
+            batch_fetches: self.batch_fetches.load(Ordering::Relaxed),
+            pages_granted: self.pages_granted.load(Ordering::Relaxed),
+            prefetch_installs: cache.prefetch_installs,
+            prefetch_hits: cache.prefetch_hits,
+            prefetch_wasted: cache.prefetch_wasted,
+            batch_write_back_rpcs: batch_rpcs,
+            pages_written_batched: batch_pages,
+            merged_evictions: merged,
+            rtts_saved: cache.prefetch_hits + batch_pages.saturating_sub(batch_rpcs) + merged,
+        }
     }
 
     /// The data servers this client knows about.
@@ -144,28 +258,143 @@ impl DsmClientPartition {
 
     /// Find (and remember) the data server homing `seg`, probing all
     /// known data servers on a cache miss.
+    ///
+    /// All candidates are probed in parallel: only the actual home
+    /// answers `Len`, so the first positive reply wins, and a crashed
+    /// server burns its call timeout on its own probe thread instead of
+    /// serially stalling the fault for the full timeout per dead server.
     fn resolve(&self, seg: SysName) -> clouds_ra::Result<NodeId> {
         if let Some(home) = self.homes.lock().get(&seg) {
             return Ok(*home);
         }
-        // Probe the default home first (cheap hit for hash-placed
-        // segments), then the rest.
-        let mut order = vec![self.default_home(seg)];
-        for &ds in &self.data_servers {
-            if !order.contains(&ds) {
-                order.push(ds);
-            }
-        }
-        for server in order {
-            match self.call(server, &DsmRequest::SegmentLen { seg }) {
+        if let [server] = self.data_servers[..] {
+            return match self.call(server, &DsmRequest::SegmentLen { seg }) {
                 Ok(DsmReply::Len(_)) => {
                     self.homes.lock().insert(seg, server);
-                    return Ok(server);
+                    Ok(server)
                 }
-                Ok(_) | Err(_) => continue,
+                _ => Err(RaError::SegmentNotFound(seg)),
+            };
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        for &server in &self.data_servers {
+            let ratp = Arc::clone(&self.ratp);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let found = matches!(
+                    ratp.call(server, ports::DSM_SERVER, proto::encode(&DsmRequest::SegmentLen { seg }))
+                        .map(|bytes| proto::decode::<DsmReply>(&bytes)),
+                    Ok(Ok(DsmReply::Len(_)))
+                );
+                let _ = tx.send((server, found));
+            });
+        }
+        drop(tx);
+        while let Ok((server, found)) = rx.recv() {
+            if found {
+                self.homes.lock().insert(seg, server);
+                return Ok(server);
             }
         }
         Err(RaError::SegmentNotFound(seg))
+    }
+
+    fn is_sequential(&self, seg: SysName, page: u32) -> bool {
+        self.next_expected.lock().get(&seg) == Some(&page)
+    }
+
+    /// Record that pages `first .. first + granted` were just granted,
+    /// arming the detector for the page right after the run.
+    fn note_grant(&self, seg: SysName, first: u32, granted: u32) {
+        self.next_expected
+            .lock()
+            .insert(seg, first.saturating_add(granted));
+    }
+
+    /// Sequential read fault: fetch a whole window with one RPC. The
+    /// faulting page is returned (the cache installs and acks it as
+    /// usual); the read-ahead tail is installed here as clean frames and
+    /// every tail grant is acknowledged in one batched notify — pages
+    /// the cache declined (full, or slot raced) are acked with
+    /// `installed: false` so the server forgets those copies.
+    fn fetch_batch(&self, seg: SysName, first: u32, window: u32) -> clouds_ra::Result<PageFetch> {
+        self.fetch_rpcs.fetch_add(1, Ordering::Relaxed);
+        self.batch_fetches.fetch_add(1, Ordering::Relaxed);
+        self.on_home(seg, |home| {
+            match self.call(
+                home,
+                &DsmRequest::FetchPages {
+                    seg,
+                    first,
+                    count: window,
+                    mode: WireMode::Read,
+                },
+            )? {
+                DsmReply::Pages { first: f, mut pages } if f == first && !pages.is_empty() => {
+                    self.pages_granted
+                        .fetch_add(pages.len() as u64, Ordering::Relaxed);
+                    let tail = pages.split_off(1);
+                    let head = pages.pop().expect("non-empty checked above");
+                    let mut acks = Vec::with_capacity(tail.len());
+                    for (i, grant) in tail.into_iter().enumerate() {
+                        let page = first + 1 + i as u32;
+                        let installed =
+                            self.cache
+                                .install_prefetched((seg, page), grant.data, grant.version);
+                        acks.push(WireInstallAck {
+                            page,
+                            grant_seq: grant.grant_seq,
+                            installed,
+                        });
+                    }
+                    let granted = 1 + acks.len() as u32;
+                    if !acks.is_empty() {
+                        self.ratp.notify(
+                            home,
+                            ports::DSM_SERVER,
+                            proto::encode(&DsmRequest::InstallAckBatch { seg, acks }),
+                        );
+                    }
+                    self.note_grant(seg, first, granted);
+                    Ok(PageFetch {
+                        data: head.data,
+                        version: head.version,
+                        zero_filled: head.zero_filled,
+                        grant_seq: head.grant_seq,
+                    })
+                }
+                DsmReply::Err(e) => Err(e.into()),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    /// Ship one home server's group of dirty pages in a single RPC,
+    /// returning per-page results aligned with `pages`.
+    fn send_write_back_batch(
+        &self,
+        home: NodeId,
+        pages: Vec<WireWriteBack>,
+    ) -> Vec<clouds_ra::Result<u64>> {
+        let n = pages.len();
+        self.batch_write_back_rpcs.fetch_add(1, Ordering::Relaxed);
+        self.pages_written_batched
+            .fetch_add(n as u64, Ordering::Relaxed);
+        match self.call(home, &DsmRequest::WriteBackBatch { pages }) {
+            Ok(DsmReply::WriteBackResults { results }) if results.len() == n => results
+                .into_iter()
+                .map(|r| r.map_err(RaError::from))
+                .collect(),
+            Ok(DsmReply::Err(e)) => {
+                let e: RaError = e.into();
+                (0..n).map(|_| Err(e.clone())).collect()
+            }
+            Ok(other) => {
+                let e = unexpected(other);
+                (0..n).map(|_| Err(e.clone())).collect()
+            }
+            Err(e) => (0..n).map(|_| Err(e.clone())).collect(),
+        }
     }
 
     fn on_home<T>(
@@ -217,11 +446,16 @@ impl Partition for DsmClientPartition {
     }
 
     fn fetch_page(&self, seg: SysName, page: u32, mode: AccessMode) -> clouds_ra::Result<PageFetch> {
+        let window = self.config.read_ahead_window;
+        if mode == AccessMode::Read && window > 1 && self.is_sequential(seg, page) {
+            return self.fetch_batch(seg, page, window);
+        }
         let wire_mode = match mode {
             AccessMode::Read => WireMode::Read,
             AccessMode::Write => WireMode::Write,
         };
-        self.on_home(seg, |home| {
+        self.fetch_rpcs.fetch_add(1, Ordering::Relaxed);
+        let fetched = self.on_home(seg, |home| {
             match self.call(
                 home,
                 &DsmRequest::FetchPage {
@@ -244,7 +478,12 @@ impl Partition for DsmClientPartition {
                 DsmReply::Err(e) => Err(e.into()),
                 other => Err(unexpected(other)),
             }
-        })
+        })?;
+        self.pages_granted.fetch_add(1, Ordering::Relaxed);
+        if mode == AccessMode::Read {
+            self.note_grant(seg, page, 1);
+        }
+        Ok(fetched)
     }
 
     fn write_back(&self, seg: SysName, page: u32, data: &[u8]) -> clouds_ra::Result<u64> {
@@ -262,6 +501,85 @@ impl Partition for DsmClientPartition {
                 DsmReply::Err(e) => Err(e.into()),
                 other => Err(unexpected(other)),
             }
+        })
+    }
+
+    /// One `WriteBackBatch` RPC per home server, pipelined across
+    /// distinct homes with scoped threads: an N-page commit flush costs
+    /// one round trip per server instead of N.
+    fn write_back_batch(&self, items: &[WriteBackItem]) -> Vec<clouds_ra::Result<u64>> {
+        if !self.config.batch_write_backs || items.len() <= 1 {
+            return items
+                .iter()
+                .map(|p| self.write_back(p.seg, p.page, &p.data))
+                .collect();
+        }
+        let mut results: Vec<clouds_ra::Result<u64>> = items
+            .iter()
+            .map(|_| {
+                Err(RaError::PartitionUnavailable(
+                    "write-back batch item unresolved".into(),
+                ))
+            })
+            .collect();
+        let mut groups: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, item) in items.iter().enumerate() {
+            match self.resolve(item.seg) {
+                Ok(home) => groups.entry(home).or_default().push(i),
+                Err(e) => results[i] = Err(e),
+            }
+        }
+        let outcomes: Vec<(Vec<usize>, Vec<clouds_ra::Result<u64>>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|(home, idxs)| {
+                    s.spawn(move || {
+                        let pages: Vec<WireWriteBack> = idxs
+                            .iter()
+                            .map(|&i| WireWriteBack {
+                                seg: items[i].seg,
+                                page: items[i].page,
+                                data: items[i].data.clone(),
+                            })
+                            .collect();
+                        let res = self.send_write_back_batch(home, pages);
+                        (idxs, res)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("write-back batch thread panicked"))
+                .collect()
+        });
+        for (idxs, group_results) in outcomes {
+            for (i, r) in idxs.into_iter().zip(group_results) {
+                results[i] = r;
+            }
+        }
+        results
+    }
+
+    /// Dirty eviction in one round trip: the write-back message carries
+    /// the release flag instead of a separate `ReleasePage` call.
+    fn write_back_and_release(&self, seg: SysName, page: u32, data: &[u8]) -> clouds_ra::Result<u64> {
+        self.on_home(seg, |home| {
+            match self.call(
+                home,
+                &DsmRequest::WriteBack {
+                    seg,
+                    page,
+                    data: data.to_vec(),
+                    release: true,
+                },
+            )? {
+                DsmReply::Ok => Ok(0),
+                DsmReply::Err(e) => Err(e.into()),
+                other => Err(unexpected(other)),
+            }
+        })
+        .inspect(|_| {
+            self.merged_evictions.fetch_add(1, Ordering::Relaxed);
         })
     }
 

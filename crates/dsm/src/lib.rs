@@ -70,7 +70,7 @@ pub mod proto;
 mod semaphore;
 mod server;
 
-pub use client::DsmClientPartition;
+pub use client::{DsmClientConfig, DsmClientPartition, DsmClientStats};
 pub use locks::{LockMode, LockOutcome, LockReply, LockRequest, LockService};
 pub use proto::ports;
 pub use semaphore::{SemReply, SemRequest, SemaphoreService};

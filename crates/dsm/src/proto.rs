@@ -63,6 +63,23 @@ pub enum DsmRequest {
         /// Requested coherence mode.
         mode: WireMode,
     },
+    /// Demand-page `first` in `mode` plus up to `count - 1` contiguous
+    /// read-ahead pages. The server performs the full coherence
+    /// transition for `first` only; the extra pages are granted
+    /// speculatively and exactly as far as coherence allows without
+    /// recalling any copy (the grant stops at the first page that would
+    /// need one).
+    FetchPages {
+        /// Segment sysname.
+        seg: SysName,
+        /// First (faulting) page index.
+        first: u32,
+        /// Total pages wanted, including `first` (>= 1).
+        count: u32,
+        /// Requested coherence mode for `first`; read-ahead pages are
+        /// always granted in read mode.
+        mode: WireMode,
+    },
     /// Write a dirty page back; optionally drop ownership too.
     WriteBack {
         /// Segment sysname.
@@ -81,6 +98,13 @@ pub enum DsmRequest {
         /// Page index.
         page: u32,
     },
+    /// Write a batch of dirty pages back in one round trip. Frames stay
+    /// owned by the client in their current mode (write-through, not
+    /// release) — the commit-flush fast path.
+    WriteBackBatch {
+        /// The dirty pages, each with full contents.
+        pages: Vec<WireWriteBack>,
+    },
     /// Acknowledge that a granted page is installed at the client, so
     /// the manager may process the next transition for the page.
     InstallAck {
@@ -91,6 +115,39 @@ pub enum DsmRequest {
         /// Grant sequence number being acknowledged.
         grant_seq: u64,
     },
+    /// Acknowledge every page of a [`DsmRequest::FetchPages`] grant in
+    /// one message. Pages the client declined to install (cache full,
+    /// slot raced) carry `installed: false` so the manager both unblocks
+    /// the grant and forgets the copy — no separate `ReleasePage` needed.
+    InstallAckBatch {
+        /// Segment sysname.
+        seg: SysName,
+        /// One entry per granted page.
+        acks: Vec<WireInstallAck>,
+    },
+}
+
+/// One dirty page inside a [`DsmRequest::WriteBackBatch`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireWriteBack {
+    /// Segment sysname.
+    pub seg: SysName,
+    /// Page index.
+    pub page: u32,
+    /// Full page contents.
+    pub data: Vec<u8>,
+}
+
+/// One acknowledgement inside a [`DsmRequest::InstallAckBatch`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WireInstallAck {
+    /// Page index.
+    pub page: u32,
+    /// Grant sequence number being acknowledged.
+    pub grant_seq: u64,
+    /// Whether the client actually kept the copy. `false` makes the
+    /// server drop the client from the page's copyset.
+    pub installed: bool,
 }
 
 /// Replies from the data server's DSM service.
@@ -111,8 +168,37 @@ pub enum DsmReply {
         /// Grant sequence number to acknowledge after installing.
         grant_seq: u64,
     },
+    /// A multi-page grant answering [`DsmRequest::FetchPages`]: the
+    /// faulting page plus zero or more contiguous read-ahead pages, each
+    /// with its own version and grant sequence number. Every granted
+    /// page MUST be acknowledged via [`DsmRequest::InstallAckBatch`].
+    Pages {
+        /// First page index of the run (== the request's `first`).
+        first: u32,
+        /// The granted pages, contiguous from `first`.
+        pages: Vec<WirePageGrant>,
+    },
+    /// One result per page of a [`DsmRequest::WriteBackBatch`], aligned
+    /// with the request order. `Ok(version)` per page on success.
+    WriteBackResults {
+        /// Per-page outcome (new canonical version or error).
+        results: Vec<Result<u64, WireError>>,
+    },
     /// Operation failed.
     Err(WireError),
+}
+
+/// One granted page inside a [`DsmReply::Pages`] batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WirePageGrant {
+    /// Full page contents.
+    pub data: Vec<u8>,
+    /// Canonical version counter.
+    pub version: u64,
+    /// Whether the page had never been written.
+    pub zero_filled: bool,
+    /// Grant sequence number to acknowledge after installing.
+    pub grant_seq: u64,
 }
 
 /// Requests sent *by the data server* to a client's recall service.
@@ -238,6 +324,111 @@ mod tests {
         };
         let back: DsmReply = decode(&encode(&reply)).unwrap();
         assert!(matches!(back, DsmReply::Page { version: 9, .. }));
+    }
+
+    #[test]
+    fn batch_fetch_roundtrip() {
+        let req = DsmRequest::FetchPages {
+            seg: SysName::from_parts(1, 2),
+            first: 10,
+            count: 8,
+            mode: WireMode::Read,
+        };
+        let back: DsmRequest = decode(&encode(&req)).unwrap();
+        assert!(matches!(
+            back,
+            DsmRequest::FetchPages {
+                first: 10,
+                count: 8,
+                ..
+            }
+        ));
+
+        let reply = DsmReply::Pages {
+            first: 10,
+            pages: vec![
+                WirePageGrant {
+                    data: vec![1; 4],
+                    version: 3,
+                    zero_filled: false,
+                    grant_seq: 7,
+                },
+                WirePageGrant {
+                    data: vec![2; 4],
+                    version: 0,
+                    zero_filled: true,
+                    grant_seq: 8,
+                },
+            ],
+        };
+        match decode::<DsmReply>(&encode(&reply)).unwrap() {
+            DsmReply::Pages { first, pages } => {
+                assert_eq!(first, 10);
+                assert_eq!(pages.len(), 2);
+                assert_eq!(pages[1].grant_seq, 8);
+                assert!(pages[1].zero_filled);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_write_back_roundtrip() {
+        let req = DsmRequest::WriteBackBatch {
+            pages: vec![WireWriteBack {
+                seg: SysName::from_parts(5, 6),
+                page: 3,
+                data: vec![9; 16],
+            }],
+        };
+        let back: DsmRequest = decode(&encode(&req)).unwrap();
+        match back {
+            DsmRequest::WriteBackBatch { pages } => {
+                assert_eq!(pages.len(), 1);
+                assert_eq!(pages[0].page, 3);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+
+        let reply = DsmReply::WriteBackResults {
+            results: vec![
+                Ok(12),
+                Err(WireError::SegmentNotFound(SysName::from_parts(5, 6))),
+            ],
+        };
+        match decode::<DsmReply>(&encode(&reply)).unwrap() {
+            DsmReply::WriteBackResults { results } => {
+                assert_eq!(results[0], Ok(12));
+                assert!(results[1].is_err());
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_install_ack_roundtrip() {
+        let req = DsmRequest::InstallAckBatch {
+            seg: SysName::from_parts(1, 1),
+            acks: vec![
+                WireInstallAck {
+                    page: 0,
+                    grant_seq: 1,
+                    installed: true,
+                },
+                WireInstallAck {
+                    page: 1,
+                    grant_seq: 2,
+                    installed: false,
+                },
+            ],
+        };
+        match decode::<DsmRequest>(&encode(&req)).unwrap() {
+            DsmRequest::InstallAckBatch { acks, .. } => {
+                assert!(acks[0].installed);
+                assert!(!acks[1].installed);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
     }
 
     #[test]

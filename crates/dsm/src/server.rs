@@ -20,10 +20,11 @@
 //!   recall deadlock-free).
 
 use crate::proto::{
-    self, ports, DsmReply, DsmRequest, RecallReply, RecallRequest, WireMode,
+    self, ports, DsmReply, DsmRequest, RecallReply, RecallRequest, WireMode, WirePageGrant,
+    WireWriteBack,
 };
 use clouds_ra::{RaError, SegmentStore, SysName};
-use clouds_ratp::{RatpNode, Request};
+use clouds_ratp::{CallError, RatpNode, Request};
 use clouds_simnet::NodeId;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
@@ -80,6 +81,16 @@ pub struct DsmServerStats {
     /// callers that bypassed the ack protocol — a bug if nonzero in a
     /// healthy run).
     pub ack_timeouts: u64,
+    /// Fetch RPCs served (`FetchPage` + `FetchPages`); with batching on,
+    /// this grows much slower than the grant counters.
+    pub fetch_rpcs: u64,
+    /// `FetchPages` RPCs served (subset of `fetch_rpcs`).
+    pub batch_fetches: u64,
+    /// Read-ahead pages granted speculatively beyond the faulting page.
+    pub prefetch_pages_granted: u64,
+    /// `WriteBackBatch` RPCs served (each may carry many pages, all
+    /// counted individually in `write_backs`).
+    pub batch_write_backs: u64,
 }
 
 /// A data server's DSM service.
@@ -100,6 +111,10 @@ pub struct DsmServer {
     write_backs: AtomicU64,
     grant_seq: AtomicU64,
     ack_timeouts: AtomicU64,
+    fetch_rpcs: AtomicU64,
+    batch_fetches: AtomicU64,
+    prefetch_pages_granted: AtomicU64,
+    batch_write_backs: AtomicU64,
 }
 
 impl fmt::Debug for DsmServer {
@@ -133,6 +148,10 @@ impl DsmServer {
             write_backs: AtomicU64::new(0),
             grant_seq: AtomicU64::new(1),
             ack_timeouts: AtomicU64::new(0),
+            fetch_rpcs: AtomicU64::new(0),
+            batch_fetches: AtomicU64::new(0),
+            prefetch_pages_granted: AtomicU64::new(0),
+            batch_write_backs: AtomicU64::new(0),
         });
         let handler = Arc::clone(&server);
         ratp.register_service(ports::DSM_SERVER, move |req: Request| {
@@ -165,6 +184,10 @@ impl DsmServer {
             downgrades: self.downgrades.load(Ordering::Relaxed),
             write_backs: self.write_backs.load(Ordering::Relaxed),
             ack_timeouts: self.ack_timeouts.load(Ordering::Relaxed),
+            fetch_rpcs: self.fetch_rpcs.load(Ordering::Relaxed),
+            batch_fetches: self.batch_fetches.load(Ordering::Relaxed),
+            prefetch_pages_granted: self.prefetch_pages_granted.load(Ordering::Relaxed),
+            batch_write_backs: self.batch_write_backs.load(Ordering::Relaxed),
         }
     }
 
@@ -179,29 +202,35 @@ impl DsmServer {
     pub fn commit_page(&self, seg: SysName, page: u32, data: &[u8]) -> clouds_ra::Result<u64> {
         let key = (seg, page);
         let state = self.begin_transition(key);
-        match state {
-            Coherence::Exclusive(owner) => {
-                // Any dirty data at the owner loses to the committed
-                // image: the commit holds the write lock, so a correct
-                // cp/s-thread mix cannot produce a competing dirty copy.
-                let _ = self.recall(owner, RecallRequest::Reclaim { seg, page });
-                self.invalidations.fetch_add(1, Ordering::Relaxed);
-            }
-            Coherence::Shared(set) => {
-                for holder in set {
-                    let _ = self.recall(holder, RecallRequest::Reclaim { seg, page });
+        let result = (|| {
+            match &state {
+                Coherence::Exclusive(owner) => {
+                    // Any dirty data at the owner loses to the committed
+                    // image: the commit holds the write lock, so a correct
+                    // cp/s-thread mix cannot produce a competing dirty copy.
+                    self.recall(*owner, RecallRequest::Reclaim { seg, page })?;
                     self.invalidations.fetch_add(1, Ordering::Relaxed);
                 }
+                Coherence::Shared(set) => {
+                    for &holder in set {
+                        self.recall(holder, RecallRequest::Reclaim { seg, page })?;
+                        self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Coherence::Idle => {}
             }
-            Coherence::Idle => {}
-        }
-        let result = (|| {
             let segment = self.store.get(seg)?;
             let version = segment.write().write_page(page, data)?;
             self.write_backs.fetch_add(1, Ordering::Relaxed);
             Ok(version)
         })();
-        self.end_transition(key, Coherence::Idle);
+        // On an aborted recall, keep the pre-transition copyset: copies
+        // that did answer are gone from their caches, but re-recalling a
+        // non-holder is harmless, while forgetting a live one is not.
+        self.end_transition(
+            key,
+            if result.is_ok() { Coherence::Idle } else { state },
+        );
         result
     }
 
@@ -229,13 +258,27 @@ impl DsmServer {
                 Ok(s) => DsmReply::Len(s.read().len()),
                 Err(e) => DsmReply::Err(e.into()),
             },
-            DsmRequest::FetchPage { seg, page, mode } => self.fetch(src, seg, page, mode),
+            DsmRequest::FetchPage { seg, page, mode } => {
+                self.fetch_rpcs.fetch_add(1, Ordering::Relaxed);
+                self.fetch(src, seg, page, mode)
+            }
+            DsmRequest::FetchPages {
+                seg,
+                first,
+                count,
+                mode,
+            } => {
+                self.fetch_rpcs.fetch_add(1, Ordering::Relaxed);
+                self.batch_fetches.fetch_add(1, Ordering::Relaxed);
+                self.fetch_pages(src, seg, first, count, mode)
+            }
             DsmRequest::WriteBack {
                 seg,
                 page,
                 data,
                 release,
             } => self.write_back(src, seg, page, &data, release),
+            DsmRequest::WriteBackBatch { pages } => self.write_back_batch(&pages),
             DsmRequest::ReleasePage { seg, page } => {
                 self.forget_copy(src, seg, page);
                 DsmReply::Ok
@@ -246,6 +289,22 @@ impl DsmServer {
                 grant_seq,
             } => {
                 self.handle_install_ack(src, seg, page, grant_seq);
+                DsmReply::Ok
+            }
+            DsmRequest::InstallAckBatch { seg, acks } => {
+                for ack in acks {
+                    let matched = self.handle_install_ack(src, seg, ack.page, ack.grant_seq);
+                    // The client declined the speculative copy: drop it
+                    // from the copyset so no recall ever waits on a copy
+                    // that does not exist. Only while this very grant's
+                    // ack was still pending, though — if the deadline
+                    // already fired, a newer transition may have granted
+                    // the page to the same client for real, and
+                    // forgetting now would orphan that live copy.
+                    if !ack.installed && matched {
+                        self.forget_copy(src, seg, ack.page);
+                    }
+                }
                 DsmReply::Ok
             }
         }
@@ -317,16 +376,21 @@ impl DsmServer {
         self.busy_cvar.notify_all();
     }
 
-    fn handle_install_ack(&self, src: NodeId, seg: SysName, page: u32, grant_seq: u64) {
+    /// Returns whether the ack matched the grant still awaiting one (a
+    /// stale or duplicate ack leaves the directory untouched).
+    fn handle_install_ack(&self, src: NodeId, seg: SysName, page: u32, grant_seq: u64) -> bool {
         let mut dir = self.directory.lock();
+        let mut matched = false;
         if let Some(entry) = dir.pages.get_mut(&(seg, page)) {
             if let Some((node, seq, _)) = entry.awaiting_ack {
                 if node == src && seq == grant_seq {
                     entry.awaiting_ack = None;
+                    matched = true;
                 }
             }
         }
         self.busy_cvar.notify_all();
+        matched
     }
 
     fn fetch(&self, src: NodeId, seg: SysName, page: u32, mode: WireMode) -> DsmReply {
@@ -340,16 +404,20 @@ impl DsmServer {
         let new_state = match (mode, state) {
             (WireMode::Read, Coherence::Exclusive(owner)) if owner != src => {
                 match self.recall(owner, RecallRequest::Downgrade { seg, page }) {
-                    RecallReply::Dirty(data) => {
+                    Ok(RecallReply::Dirty(data)) => {
                         self.apply_write_back(seg, page, &data);
                         self.downgrades.fetch_add(1, Ordering::Relaxed);
                         Coherence::Shared(HashSet::from([owner, src]))
                     }
-                    RecallReply::Clean => {
+                    Ok(RecallReply::Clean) => {
                         self.downgrades.fetch_add(1, Ordering::Relaxed);
                         Coherence::Shared(HashSet::from([owner, src]))
                     }
-                    RecallReply::NotPresent => Coherence::Shared(HashSet::from([src])),
+                    Ok(RecallReply::NotPresent) => Coherence::Shared(HashSet::from([src])),
+                    Err(e) => {
+                        self.end_transition(key, Coherence::Exclusive(owner));
+                        return DsmReply::Err(e.into());
+                    }
                 }
             }
             (WireMode::Read, Coherence::Exclusive(_owner)) => {
@@ -364,34 +432,45 @@ impl DsmServer {
             (WireMode::Read, Coherence::Idle) => Coherence::Shared(HashSet::from([src])),
             (WireMode::Write, Coherence::Exclusive(owner)) if owner != src => {
                 match self.recall(owner, RecallRequest::Reclaim { seg, page }) {
-                    RecallReply::Dirty(data) => {
+                    Ok(RecallReply::Dirty(data)) => {
                         self.apply_write_back(seg, page, &data);
                         self.invalidations.fetch_add(1, Ordering::Relaxed);
                     }
-                    RecallReply::Clean => {
+                    Ok(RecallReply::Clean) => {
                         self.invalidations.fetch_add(1, Ordering::Relaxed);
                     }
-                    RecallReply::NotPresent => {}
+                    Ok(RecallReply::NotPresent) => {}
+                    Err(e) => {
+                        self.end_transition(key, Coherence::Exclusive(owner));
+                        return DsmReply::Err(e.into());
+                    }
                 }
                 Coherence::Exclusive(src)
             }
             (WireMode::Write, Coherence::Exclusive(_owner)) => Coherence::Exclusive(src),
             (WireMode::Write, Coherence::Shared(set)) => {
-                for holder in set {
+                for &holder in &set {
                     if holder == src {
                         continue;
                     }
                     match self.recall(holder, RecallRequest::Reclaim { seg, page }) {
-                        RecallReply::Dirty(data) => {
+                        Ok(RecallReply::Dirty(data)) => {
                             // Shared copies are clean by protocol, but be
                             // liberal in what we accept.
                             self.apply_write_back(seg, page, &data);
                             self.invalidations.fetch_add(1, Ordering::Relaxed);
                         }
-                        RecallReply::Clean => {
+                        Ok(RecallReply::Clean) => {
                             self.invalidations.fetch_add(1, Ordering::Relaxed);
                         }
-                        RecallReply::NotPresent => {}
+                        Ok(RecallReply::NotPresent) => {}
+                        Err(e) => {
+                            // Holders already recalled are kept in the
+                            // restored copyset; re-recalling a non-holder
+                            // is harmless, forgetting a live one is not.
+                            self.end_transition(key, Coherence::Shared(set));
+                            return DsmReply::Err(e.into());
+                        }
                     }
                 }
                 Coherence::Exclusive(src)
@@ -400,13 +479,13 @@ impl DsmServer {
         };
 
         let grant_seq = self.grant_seq.fetch_add(1, Ordering::Relaxed);
-        let reply = match self.read_canonical(seg, page, grant_seq) {
-            Ok(reply) => {
+        let grant = match self.read_canonical(seg, page, grant_seq) {
+            Ok(grant) => {
                 match mode {
                     WireMode::Read => self.read_grants.fetch_add(1, Ordering::Relaxed),
                     WireMode::Write => self.write_grants.fetch_add(1, Ordering::Relaxed),
                 };
-                reply
+                grant
             }
             Err(e) => {
                 self.end_transition(key, Coherence::Idle);
@@ -414,15 +493,127 @@ impl DsmServer {
             }
         };
         self.end_transition_granted(key, new_state, src, grant_seq);
-        reply
+        DsmReply::Page {
+            data: grant.data,
+            version: grant.version,
+            zero_filled: grant.zero_filled,
+            grant_seq: grant.grant_seq,
+        }
     }
 
-    fn read_canonical(&self, seg: SysName, page: u32, grant_seq: u64) -> Result<DsmReply, RaError> {
+    /// Serve a batch fetch: the faulting page takes the full coherence
+    /// transition (recalls and all); the following contiguous pages are
+    /// granted speculatively in read mode, exactly as far as coherence
+    /// allows *without recalling anything* — the run stops at the first
+    /// page that is exclusively held, mid-transition, or out of range.
+    /// Every granted page carries its own grant_seq and must be
+    /// acknowledged (see [`DsmRequest::InstallAckBatch`]).
+    fn fetch_pages(
+        &self,
+        src: NodeId,
+        seg: SysName,
+        first: u32,
+        count: u32,
+        mode: WireMode,
+    ) -> DsmReply {
+        let head = match self.fetch(src, seg, first, mode) {
+            DsmReply::Page {
+                data,
+                version,
+                zero_filled,
+                grant_seq,
+            } => WirePageGrant {
+                data,
+                version,
+                zero_filled,
+                grant_seq,
+            },
+            other => return other,
+        };
+        let mut pages = vec![head];
+        while pages.len() < count as usize {
+            let Some(page) = first.checked_add(pages.len() as u32) else {
+                break;
+            };
+            match self.try_speculative_grant(src, seg, page) {
+                Some(grant) => pages.push(grant),
+                None => break,
+            }
+        }
+        self.prefetch_pages_granted
+            .fetch_add(pages.len() as u64 - 1, Ordering::Relaxed);
+        DsmReply::Pages { first, pages }
+    }
+
+    /// Grant `page` to `src` in read mode only if no recall, wait, or
+    /// demotion would be needed: the page must be Idle or Shared, with no
+    /// transition running and no grant awaiting its ack. Returns `None`
+    /// to end the read-ahead run otherwise.
+    fn try_speculative_grant(
+        &self,
+        src: NodeId,
+        seg: SysName,
+        page: u32,
+    ) -> Option<WirePageGrant> {
+        let key = (seg, page);
+        let prior = {
+            let mut dir = self.directory.lock();
+            let entry = dir.pages.entry(key).or_insert(PageEntry {
+                state: Coherence::Idle,
+                busy: false,
+                awaiting_ack: None,
+            });
+            if entry.busy || entry.awaiting_ack.is_some() {
+                return None;
+            }
+            match &entry.state {
+                // Never demote an exclusive copy speculatively: the owner
+                // may hold dirty data a silent downgrade would lose.
+                Coherence::Exclusive(_) => return None,
+                // Never re-grant a page the requester already shares:
+                // the client would decline the duplicate and its
+                // uninstalled-ack would evict the *live* copy from the
+                // copyset, leaving a cached page no recall can reach.
+                Coherence::Shared(set) if set.contains(&src) => return None,
+                Coherence::Idle | Coherence::Shared(_) => {}
+            }
+            entry.busy = true;
+            entry.state.clone()
+        };
+        let grant_seq = self.grant_seq.fetch_add(1, Ordering::Relaxed);
+        match self.read_canonical(seg, page, grant_seq) {
+            Ok(grant) => {
+                self.read_grants.fetch_add(1, Ordering::Relaxed);
+                let new_state = match prior {
+                    Coherence::Shared(mut set) => {
+                        set.insert(src);
+                        Coherence::Shared(set)
+                    }
+                    _ => Coherence::Shared(HashSet::from([src])),
+                };
+                self.end_transition_granted(key, new_state, src, grant_seq);
+                Some(grant)
+            }
+            Err(_) => {
+                // Out of range (end of segment) or store error: restore
+                // the untouched state and end the run.
+                self.end_transition(key, prior);
+                None
+            }
+        }
+    }
+
+    fn read_canonical(
+        &self,
+        seg: SysName,
+        page: u32,
+        grant_seq: u64,
+    ) -> Result<WirePageGrant, RaError> {
         let segment = self.store.get(seg)?;
         let segment = segment.read();
         let zero_filled = !segment.is_page_materialized(page);
         let data = segment.read_page(page)?;
-        Ok(DsmReply::Page {
+        Ok(WirePageGrant {
             data,
             version: segment.page_version(page),
             zero_filled,
@@ -430,18 +621,27 @@ impl DsmServer {
         })
     }
 
-    /// Ask `holder` to give up (or demote) its copy. A dead or
-    /// unreachable holder is treated as holding nothing: its volatile
-    /// copy died with it.
-    fn recall(&self, holder: NodeId, req: RecallRequest) -> RecallReply {
+    /// Ask `holder` to give up (or demote) its copy. A holder that stays
+    /// silent through the whole retransmission budget is treated as
+    /// crashed: its volatile copy died with it. A *local* transmit
+    /// failure is different — this node's own interface is down (e.g.
+    /// mid-crash in a fault schedule), which says nothing about the
+    /// holder, so the transition must abort rather than forget a live
+    /// copy and leak it stale.
+    fn recall(&self, holder: NodeId, req: RecallRequest) -> clouds_ra::Result<RecallReply> {
         match self.ratp.call_with_budget(
             holder,
             ports::DSM_CLIENT,
             proto::encode(&req),
             RECALL_RETRIES,
         ) {
-            Ok(reply) => proto::decode(&reply).unwrap_or(RecallReply::NotPresent),
-            Err(_) => RecallReply::NotPresent,
+            Ok(reply) => Ok(proto::decode(&reply).unwrap_or(RecallReply::NotPresent)),
+            Err(CallError::TimedOut | CallError::ServiceNotFound(_)) => {
+                Ok(RecallReply::NotPresent)
+            }
+            Err(e) => Err(RaError::PartitionUnavailable(format!(
+                "recall aborted, cannot transmit: {e}"
+            ))),
         }
     }
 
@@ -476,6 +676,28 @@ impl DsmServer {
             self.forget_copy(src, seg, page);
         }
         DsmReply::Ok
+    }
+
+    /// Apply a whole batch of write-backs in one RPC, returning one
+    /// result per page (aligned with the request). Like
+    /// [`DsmServer::write_back`], this deliberately does not take busy
+    /// flags — see the module docs on deadlock freedom.
+    fn write_back_batch(&self, pages: &[WireWriteBack]) -> DsmReply {
+        self.batch_write_backs.fetch_add(1, Ordering::Relaxed);
+        let results = pages
+            .iter()
+            .map(|p| match self.store.get(p.seg) {
+                Ok(segment) => match segment.write().write_page(p.page, &p.data) {
+                    Ok(version) => {
+                        self.write_backs.fetch_add(1, Ordering::Relaxed);
+                        Ok(version)
+                    }
+                    Err(e) => Err(e.into()),
+                },
+                Err(e) => Err(e.into()),
+            })
+            .collect();
+        DsmReply::WriteBackResults { results }
     }
 
     fn forget_copy(&self, src: NodeId, seg: SysName, page: u32) {

@@ -1,0 +1,476 @@
+//! Batched paging: multi-page grants, read-ahead, coalesced write-back.
+//!
+//! Covers the perf-opt protocol extensions end to end: a `FetchPages`
+//! batch must be indistinguishable from per-page fetches (same bytes,
+//! same versions), read-ahead must collapse a sequential scan's RPC
+//! count, a commit flush must coalesce into one `WriteBackBatch` per
+//! home, and none of it may weaken the coherence protocol — a recall
+//! landing mid-batch never loses a dirty page.
+
+use clouds_dsm::proto::{
+    self, ports, DsmReply, DsmRequest, WireInstallAck, WireMode, WirePageGrant,
+};
+use clouds_dsm::{DsmClientConfig, DsmClientPartition, DsmServer};
+use clouds_ra::{AddressSpace, PageCache, Partition, SysName, PAGE_SIZE};
+use clouds_ratp::{RatpConfig, RatpNode};
+use clouds_simnet::{CostModel, Network, NodeId};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Client {
+    part: Arc<DsmClientPartition>,
+}
+
+impl Client {
+    fn space(&self, seg: SysName, pages: u64) -> AddressSpace {
+        let mut s = AddressSpace::new(
+            Arc::clone(self.part.cache()),
+            Arc::clone(&self.part) as Arc<dyn Partition>,
+        );
+        s.map(0, seg, 0, pages * PAGE_SIZE as u64, true).unwrap();
+        s
+    }
+}
+
+struct Bed {
+    net: Network,
+    servers: Vec<Arc<DsmServer>>,
+    data_nodes: Vec<NodeId>,
+}
+
+impl Bed {
+    fn new(n_data: u32) -> Bed {
+        let net = Network::new(CostModel::zero());
+        let mut servers = Vec::new();
+        let mut data_nodes = Vec::new();
+        for i in 0..n_data {
+            let id = NodeId(100 + i);
+            let ratp = RatpNode::spawn(net.register(id).unwrap(), RatpConfig::default());
+            servers.push(DsmServer::install(&ratp));
+            data_nodes.push(id);
+        }
+        Bed {
+            net,
+            servers,
+            data_nodes,
+        }
+    }
+
+    fn client_with_config(&self, id: u32, cache_frames: usize, config: DsmClientConfig) -> Client {
+        let ratp = RatpNode::spawn(
+            self.net.register(NodeId(id)).unwrap(),
+            RatpConfig {
+                retry_interval: Duration::from_millis(10),
+                max_retries: 100,
+                ..RatpConfig::default()
+            },
+        );
+        let cache = Arc::new(PageCache::new(cache_frames));
+        Client {
+            part: DsmClientPartition::install_with_config(
+                &ratp,
+                cache,
+                self.data_nodes.clone(),
+                config,
+            ),
+        }
+    }
+
+    fn client(&self, id: u32, cache_frames: usize) -> Client {
+        self.client_with_config(id, cache_frames, DsmClientConfig::default())
+    }
+}
+
+fn seg(n: u64) -> SysName {
+    SysName::from_parts(8, n)
+}
+
+/// Acceptance criterion: a 128-page sequential read costs at most 20
+/// fetch RPCs (vs 128 unbatched), asserted from both sides of the wire.
+#[test]
+fn sequential_scan_128_pages_in_at_most_20_rpcs() {
+    const PAGES: u64 = 128;
+    let bed = Bed::new(1);
+    let s = seg(1);
+    // Prefill the canonical store directly (written back and released),
+    // so the scan pages data "from the data server where it resides"
+    // rather than recalling another client's exclusive copies.
+    let raw = RatpNode::spawn(
+        bed.net.register(NodeId(90)).unwrap(),
+        RatpConfig::default(),
+    );
+    let home = bed.data_nodes[0];
+    wire_call(
+        &raw,
+        home,
+        &DsmRequest::CreateSegment {
+            seg: s,
+            len: PAGES * PAGE_SIZE as u64,
+        },
+    );
+    for page in 0..PAGES {
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[..8].copy_from_slice(&(page + 7).to_le_bytes());
+        wire_call(
+            &raw,
+            home,
+            &DsmRequest::WriteBack {
+                seg: s,
+                page: page as u32,
+                data,
+                release: true,
+            },
+        );
+    }
+
+    let reader = bed.client(2, 256);
+    let rs = reader.space(s, PAGES);
+    for page in 0..PAGES {
+        assert_eq!(rs.read_u64(page * PAGE_SIZE as u64).unwrap(), page + 7);
+    }
+
+    let client_stats = reader.part.stats();
+    let server_stats = bed.servers[0].stats();
+    assert!(
+        client_stats.fetch_rpcs <= 20,
+        "client issued {} fetch RPCs for a {PAGES}-page scan: {client_stats:?}",
+        client_stats.fetch_rpcs
+    );
+    assert!(client_stats.batch_fetches >= 1, "{client_stats:?}");
+    assert!(
+        client_stats.prefetch_hits >= PAGES - client_stats.fetch_rpcs,
+        "{client_stats:?}"
+    );
+    assert!(client_stats.rtts_saved >= 100, "{client_stats:?}");
+    // The server saw the same picture (writer RPCs included there, so
+    // bound only the batching-side counters).
+    assert!(server_stats.batch_fetches >= 1, "{server_stats:?}");
+    assert!(
+        server_stats.prefetch_pages_granted >= PAGES - 20,
+        "{server_stats:?}"
+    );
+}
+
+#[test]
+fn read_ahead_disabled_by_config_fetches_per_page() {
+    const PAGES: u64 = 16;
+    let bed = Bed::new(1);
+    let reader = bed.client_with_config(
+        1,
+        64,
+        DsmClientConfig {
+            read_ahead_window: 1,
+            ..DsmClientConfig::default()
+        },
+    );
+    let s = seg(2);
+    reader
+        .part
+        .create_segment(s, PAGES * PAGE_SIZE as u64)
+        .unwrap();
+    let rs = reader.space(s, PAGES);
+    for page in 0..PAGES {
+        rs.read_u64(page * PAGE_SIZE as u64).unwrap();
+    }
+    let stats = reader.part.stats();
+    assert_eq!(stats.fetch_rpcs, PAGES, "{stats:?}");
+    assert_eq!(stats.batch_fetches, 0, "{stats:?}");
+    assert_eq!(stats.prefetch_installs, 0, "{stats:?}");
+}
+
+/// Acceptance criterion: a 32-dirty-page flush to one home costs at most
+/// 2 write-back RPCs (one `WriteBackBatch` in practice).
+#[test]
+fn commit_flush_32_dirty_pages_in_at_most_2_rpcs() {
+    const PAGES: u64 = 32;
+    let bed = Bed::new(1);
+    let c = bed.client(1, 64);
+    let s = seg(3);
+    c.part.create_segment(s, PAGES * PAGE_SIZE as u64).unwrap();
+    let sp = c.space(s, PAGES);
+    for page in 0..PAGES {
+        sp.write_u64(page * PAGE_SIZE as u64, page + 500).unwrap();
+    }
+    sp.flush().unwrap();
+
+    let stats = c.part.stats();
+    assert!(
+        stats.batch_write_back_rpcs <= 2,
+        "flush used {} write-back RPCs: {stats:?}",
+        stats.batch_write_back_rpcs
+    );
+    assert_eq!(stats.pages_written_batched, PAGES, "{stats:?}");
+    let server_stats = bed.servers[0].stats();
+    assert!(server_stats.batch_write_backs <= 2, "{server_stats:?}");
+    assert_eq!(server_stats.write_backs, PAGES, "{server_stats:?}");
+    // Every page reached the canonical store.
+    for page in 0..PAGES {
+        let raw = bed.servers[0]
+            .store()
+            .get(s)
+            .unwrap()
+            .read()
+            .read(page * PAGE_SIZE as u64, 8)
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(raw.try_into().unwrap()), page + 500);
+    }
+    // Frames stay resident and clean: a second flush ships nothing.
+    sp.flush().unwrap();
+    assert_eq!(c.part.stats().pages_written_batched, PAGES);
+}
+
+/// A commit flush spanning several home servers ships one batch per
+/// home (pipelined), not one RPC per page.
+#[test]
+fn flush_across_homes_is_one_rpc_per_server() {
+    let bed = Bed::new(3);
+    let c = bed.client(1, 64);
+    let mut segs = Vec::new();
+    for (i, &home) in bed.data_nodes.iter().enumerate() {
+        let s = seg(40 + i as u64);
+        c.part
+            .create_segment_at(s, 4 * PAGE_SIZE as u64, home)
+            .unwrap();
+        segs.push(s);
+    }
+    let spaces: Vec<AddressSpace> = segs.iter().map(|&s| c.space(s, 4)).collect();
+    for (i, sp) in spaces.iter().enumerate() {
+        for page in 0..4u64 {
+            sp.write_u64(page * PAGE_SIZE as u64, (i as u64 + 1) * 10 + page)
+                .unwrap();
+        }
+    }
+    // One flush of the shared cache moves all 12 dirty pages.
+    c.part.cache().flush(&*c.part as &dyn Partition).unwrap();
+    let stats = c.part.stats();
+    assert_eq!(stats.batch_write_back_rpcs, 3, "{stats:?}");
+    assert_eq!(stats.pages_written_batched, 12, "{stats:?}");
+    for (i, server) in bed.servers.iter().enumerate() {
+        assert_eq!(server.stats().write_backs, 4, "server {i}");
+    }
+}
+
+/// Satellite: a dirty eviction is one round trip (write-back carries the
+/// release), not a `WriteBack` followed by a `ReleasePage`.
+#[test]
+fn dirty_eviction_is_single_round_trip() {
+    let bed = Bed::new(1);
+    let c = bed.client(1, 1); // capacity 1: every new page evicts
+    let s = seg(5);
+    c.part.create_segment(s, 4 * PAGE_SIZE as u64).unwrap();
+    let sp = c.space(s, 4);
+    sp.write_u64(0, 111).unwrap();
+    // Faulting page 1 evicts dirty page 0.
+    sp.read_u64(PAGE_SIZE as u64).unwrap();
+    let stats = c.part.stats();
+    assert_eq!(stats.merged_evictions, 1, "{stats:?}");
+    assert!(stats.rtts_saved >= 1, "{stats:?}");
+    let raw = bed.servers[0]
+        .store()
+        .get(s)
+        .unwrap()
+        .read()
+        .read(0, 8)
+        .unwrap();
+    assert_eq!(u64::from_le_bytes(raw.try_into().unwrap()), 111);
+}
+
+/// Coherence: a batch grant run must stop at a page someone else holds
+/// exclusively — the scan then demand-faults it through the normal
+/// downgrade recall and the dirty data survives.
+#[test]
+fn read_ahead_stops_at_exclusive_page_and_recall_keeps_dirty_data() {
+    const PAGES: u64 = 8;
+    let bed = Bed::new(1);
+    let a = bed.client(1, 64);
+    let b = bed.client(2, 64);
+    let s = seg(6);
+    a.part.create_segment(s, PAGES * PAGE_SIZE as u64).unwrap();
+    let sa = a.space(s, PAGES);
+    let sb = b.space(s, PAGES);
+
+    // A holds page 5 exclusive and dirty — unflushed.
+    sa.write_u64(5 * PAGE_SIZE as u64, 0xD1147).unwrap();
+
+    // B scans the whole segment sequentially with read-ahead on. The
+    // batch starting at page 1 may grant at most up to page 4; page 5
+    // must come through a full transition that downgrades A.
+    for page in 0..PAGES {
+        let want = if page == 5 { 0xD1147 } else { 0 };
+        assert_eq!(
+            sb.read_u64(page * PAGE_SIZE as u64).unwrap(),
+            want,
+            "page {page}"
+        );
+    }
+    // The downgrade wrote A's dirty page through to the canonical store.
+    let raw = bed.servers[0]
+        .store()
+        .get(s)
+        .unwrap()
+        .read()
+        .read(5 * PAGE_SIZE as u64, 8)
+        .unwrap();
+    assert_eq!(u64::from_le_bytes(raw.try_into().unwrap()), 0xD1147);
+    let server_stats = bed.servers[0].stats();
+    assert_eq!(server_stats.downgrades, 1, "{server_stats:?}");
+    assert!(b.part.stats().batch_fetches >= 1);
+    // A's copy is still resident (shared, clean) and readable.
+    assert_eq!(sa.read_u64(5 * PAGE_SIZE as u64).unwrap(), 0xD1147);
+}
+
+/// Coherence under contention: a writer keeps re-dirtying pages while a
+/// scanner with read-ahead sweeps the segment; every sweep must observe
+/// the writer's latest flushed-or-dirtier state and the final store must
+/// converge to the last written values.
+#[test]
+fn writer_vs_sequential_scanner_stays_coherent() {
+    const PAGES: u64 = 8;
+    let bed = Bed::new(1);
+    let w = bed.client(1, 64);
+    let r = bed.client(2, 64);
+    let s = seg(7);
+    w.part.create_segment(s, PAGES * PAGE_SIZE as u64).unwrap();
+    let sw = w.space(s, PAGES);
+    let sr = r.space(s, PAGES);
+
+    for round in 1..=5u64 {
+        for page in 0..PAGES {
+            sw.write_u64(page * PAGE_SIZE as u64, round * 100 + page)
+                .unwrap();
+        }
+        // Scan: every page was last written by this round, and reading
+        // it downgrades the writer's exclusive dirty copy.
+        for page in 0..PAGES {
+            assert_eq!(
+                sr.read_u64(page * PAGE_SIZE as u64).unwrap(),
+                round * 100 + page,
+                "round {round} page {page}"
+            );
+        }
+    }
+    sw.flush().unwrap();
+    for page in 0..PAGES {
+        let raw = bed.servers[0]
+            .store()
+            .get(s)
+            .unwrap()
+            .read()
+            .read(page * PAGE_SIZE as u64, 8)
+            .unwrap();
+        assert_eq!(u64::from_le_bytes(raw.try_into().unwrap()), 500 + page);
+    }
+    assert_eq!(bed.servers[0].stats().ack_timeouts, 0);
+}
+
+/// Raw-wire helper: a client that installs nothing but acks every grant,
+/// so directory transitions never stall on it.
+fn ack_all(client: &RatpNode, server: NodeId, s: SysName, grants: &[(u32, u64)]) {
+    let acks: Vec<WireInstallAck> = grants
+        .iter()
+        .map(|&(page, grant_seq)| WireInstallAck {
+            page,
+            grant_seq,
+            installed: true,
+        })
+        .collect();
+    let reply = client
+        .call(
+            server,
+            ports::DSM_SERVER,
+            proto::encode(&DsmRequest::InstallAckBatch { seg: s, acks }),
+        )
+        .unwrap();
+    assert!(matches!(
+        proto::decode::<DsmReply>(&reply).unwrap(),
+        DsmReply::Ok
+    ));
+}
+
+fn wire_call(client: &RatpNode, server: NodeId, req: &DsmRequest) -> DsmReply {
+    let reply = client
+        .call(server, ports::DSM_SERVER, proto::encode(req))
+        .unwrap();
+    proto::decode(&reply).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A `FetchPages` batch is observationally identical to per-page
+    /// `FetchPage` calls: same bytes, same versions, same zero-fill
+    /// flags, for arbitrary page contents and window sizes.
+    #[test]
+    fn batch_grant_matches_per_page_fetches(
+        contents in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 1..64), 1..10),
+        window in 1u32..10,
+        extra_writes in prop::collection::vec((0usize..10, any::<u8>()), 0..6),
+    ) {
+        let pages = contents.len() as u32;
+        let net = Network::new(CostModel::zero());
+        let server_node = NodeId(100);
+        let ratp_s = RatpNode::spawn(net.register(server_node).unwrap(), RatpConfig::default());
+        let _server = DsmServer::install(&ratp_s);
+        let x = RatpNode::spawn(net.register(NodeId(1)).unwrap(), RatpConfig::default());
+        let y = RatpNode::spawn(net.register(NodeId(2)).unwrap(), RatpConfig::default());
+
+        let s = seg(9);
+        prop_assert!(matches!(
+            wire_call(&x, server_node, &DsmRequest::CreateSegment {
+                seg: s,
+                len: pages as u64 * PAGE_SIZE as u64,
+            }),
+            DsmReply::Ok
+        ));
+        // Materialize distinct content (and thus versions) per page;
+        // extra writes give some pages higher version counters.
+        for (page, bytes) in contents.iter().enumerate() {
+            let mut data = vec![0u8; PAGE_SIZE];
+            data[..bytes.len()].copy_from_slice(bytes);
+            wire_call(&x, server_node, &DsmRequest::WriteBack {
+                seg: s, page: page as u32, data, release: true,
+            });
+        }
+        for &(page, b) in &extra_writes {
+            if page < pages as usize {
+                let data = vec![b; PAGE_SIZE];
+                wire_call(&x, server_node, &DsmRequest::WriteBack {
+                    seg: s, page: page as u32, data, release: true,
+                });
+            }
+        }
+
+        // X: one batch fetch from page 0.
+        let batch: Vec<WirePageGrant> = match wire_call(&x, server_node, &DsmRequest::FetchPages {
+            seg: s, first: 0, count: window, mode: WireMode::Read,
+        }) {
+            DsmReply::Pages { first, pages } => {
+                prop_assert_eq!(first, 0);
+                pages
+            }
+            other => panic!("no batch grant: {other:?}"),
+        };
+        // The run is contiguous from 0 and exactly as long as coherence
+        // and the segment allow (nothing here blocks it but the end).
+        prop_assert_eq!(batch.len() as u32, window.min(pages));
+        ack_all(&x, server_node, s,
+            &batch.iter().enumerate().map(|(i, g)| (i as u32, g.grant_seq)).collect::<Vec<_>>());
+
+        // Y: the same pages one at a time.
+        for (page, from_batch) in batch.iter().enumerate() {
+            match wire_call(&y, server_node, &DsmRequest::FetchPage {
+                seg: s, page: page as u32, mode: WireMode::Read,
+            }) {
+                DsmReply::Page { data, version, zero_filled, grant_seq } => {
+                    prop_assert_eq!(&data, &from_batch.data, "page {} bytes differ", page);
+                    prop_assert_eq!(version, from_batch.version, "page {} version differs", page);
+                    prop_assert_eq!(zero_filled, from_batch.zero_filled);
+                    ack_all(&y, server_node, s, &[(page as u32, grant_seq)]);
+                }
+                other => panic!("no single grant: {other:?}"),
+            }
+        }
+    }
+}

@@ -61,7 +61,10 @@ mod vspace;
 
 pub use error::RaError;
 pub use kernel::RaKernel;
-pub use partition::{AccessMode, CacheStats, Frame, LocalPartition, PageCache, PageFetch, Partition, ReclaimOutcome};
+pub use partition::{
+    AccessMode, CacheStats, Frame, LocalPartition, PageCache, PageFetch, Partition,
+    ReclaimOutcome, WriteBackItem,
+};
 pub use segment::{Segment, SegmentStore, PAGE_SIZE};
 pub use sysname::{SysName, SysNameGen};
 pub use vspace::{AddressSpace, Mapping, VirtualSpace};

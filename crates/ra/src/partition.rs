@@ -38,6 +38,17 @@ pub enum AccessMode {
     Write,
 }
 
+/// One dirty page handed to [`Partition::write_back_batch`].
+#[derive(Debug, Clone)]
+pub struct WriteBackItem {
+    /// Segment the page belongs to.
+    pub seg: SysName,
+    /// Page index within the segment.
+    pub page: u32,
+    /// Full page contents ([`PAGE_SIZE`](crate::PAGE_SIZE) bytes).
+    pub data: Vec<u8>,
+}
+
 /// A page delivered by a partition.
 #[derive(Debug, Clone)]
 pub struct PageFetch {
@@ -98,6 +109,35 @@ pub trait Partition: Send + Sync {
     ///
     /// As for [`Partition::fetch_page`].
     fn write_back(&self, seg: SysName, page: u32, data: &[u8]) -> Result<u64>;
+
+    /// Write a batch of dirty pages back, returning one result per item
+    /// (aligned with the input). The frames stay held by the caller in
+    /// whatever coherence mode they were in — this is a write-*through*,
+    /// not a release.
+    ///
+    /// The default performs one [`Partition::write_back`] per page;
+    /// network partitions override it to coalesce the batch into one
+    /// round trip per remote home (the commit-flush fast path).
+    fn write_back_batch(&self, pages: &[WriteBackItem]) -> Vec<Result<u64>> {
+        pages
+            .iter()
+            .map(|p| self.write_back(p.seg, p.page, &p.data))
+            .collect()
+    }
+
+    /// Write a dirty page back *and* relinquish the copy in one step
+    /// (dirty eviction). The default is the two-call sequence; coherent
+    /// partitions override it to piggyback the release on the write-back
+    /// message, halving the eviction round trips.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Partition::write_back`] / [`Partition::release_page`].
+    fn write_back_and_release(&self, seg: SysName, page: u32, data: &[u8]) -> Result<u64> {
+        let version = self.write_back(seg, page, data)?;
+        self.release_page(seg, page)?;
+        Ok(version)
+    }
 
     /// Relinquish any coherence state held for the page (clean drop).
     ///
@@ -228,13 +268,25 @@ enum BusyKind {
 enum Slot {
     /// A fault or eviction is in progress.
     Busy(BusyKind),
-    Present(Frame),
+    Present {
+        frame: Frame,
+        /// Stamp of this slot's newest entry in the lazy LRU queue; older
+        /// queue entries for the key are stale and skipped on eviction.
+        touch: u64,
+        /// Installed speculatively by read-ahead and not yet accessed.
+        prefetched: bool,
+    },
 }
 
 #[derive(Default)]
 struct CacheInner {
     slots: HashMap<(SysName, u32), Slot>,
-    lru: VecDeque<(SysName, u32)>,
+    /// Lazily pruned LRU queue of `(key, stamp)` pairs. An entry is live
+    /// iff the slot is `Present` with a matching `touch` stamp, which
+    /// makes every touch O(1) (append-only) instead of a linear scan.
+    lru: VecDeque<((SysName, u32), u64)>,
+    /// Monotonic stamp source for `lru` entries.
+    touch_counter: u64,
 }
 
 /// Result of [`PageCache::reclaim`], used by the DSM client service when
@@ -261,6 +313,14 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Mode upgrades (shared ➜ exclusive).
     pub upgrades: u64,
+    /// Read-ahead frames installed speculatively.
+    pub prefetch_installs: u64,
+    /// Accesses satisfied by a frame that read-ahead installed (a fault
+    /// and its round trip avoided).
+    pub prefetch_hits: u64,
+    /// Read-ahead frames evicted or reclaimed before any access used
+    /// them (wasted transfer).
+    pub prefetch_wasted: u64,
 }
 
 /// The node's resident page frames ("physical memory"), shared by every
@@ -273,6 +333,9 @@ pub struct PageCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     upgrades: AtomicU64,
+    prefetch_installs: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_wasted: AtomicU64,
 }
 
 impl fmt::Debug for PageCache {
@@ -300,6 +363,9 @@ impl PageCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             upgrades: AtomicU64::new(0),
+            prefetch_installs: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_wasted: AtomicU64::new(0),
         }
     }
 
@@ -322,13 +388,18 @@ impl PageCache {
         loop {
             let mut inner = self.inner.lock();
             match inner.slots.get_mut(&key) {
-                Some(Slot::Present(frame)) if frame.mode >= mode => {
+                Some(Slot::Present {
+                    frame, prefetched, ..
+                }) if frame.mode >= mode => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    if std::mem::take(prefetched) {
+                        self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                    }
                     let result = f(frame);
                     Self::touch_lru(&mut inner, key);
                     return Ok(result);
                 }
-                Some(Slot::Present(_)) => {
+                Some(Slot::Present { .. }) => {
                     // Mode upgrade: refetch exclusively. Take the slot so
                     // concurrent faulters wait. The shared copy is clean
                     // by construction (writes require exclusive mode), so
@@ -348,7 +419,10 @@ impl PageCache {
                     // Evict beyond capacity before fetching more.
                     let victim = Self::pick_victim(&mut inner, self.capacity);
                     drop(inner);
-                    if let Some((vkey, vframe)) = victim {
+                    if let Some((vkey, vframe, was_prefetched)) = victim {
+                        if was_prefetched {
+                            self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+                        }
                         self.write_out(vkey, vframe, partition)?;
                     }
                     return self.fault_in(key, mode, partition, f);
@@ -376,7 +450,14 @@ impl PageCache {
                     version: page.version,
                 };
                 let result = f(&mut frame);
-                inner.slots.insert(key, Slot::Present(frame));
+                inner.slots.insert(
+                    key,
+                    Slot::Present {
+                        frame,
+                        touch: 0,
+                        prefetched: false,
+                    },
+                );
                 Self::touch_lru(&mut inner, key);
                 self.cvar.notify_all();
                 drop(inner);
@@ -393,33 +474,58 @@ impl PageCache {
         }
     }
 
+    /// O(1) amortized touch: bump the stamp stored in the slot and append
+    /// a fresh queue entry. Older entries for the key become stale (their
+    /// stamp no longer matches) and are skipped by [`Self::pick_victim`];
+    /// the queue is pruned wholesale when it outgrows the slot table, so
+    /// its length stays bounded by `2 * slots + 64`.
     fn touch_lru(inner: &mut CacheInner, key: (SysName, u32)) {
-        if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
-            inner.lru.remove(pos);
+        inner.touch_counter += 1;
+        let stamp = inner.touch_counter;
+        if let Some(Slot::Present { touch, .. }) = inner.slots.get_mut(&key) {
+            *touch = stamp;
         }
-        inner.lru.push_back(key);
+        inner.lru.push_back((key, stamp));
+        if inner.lru.len() > 2 * inner.slots.len() + 64 {
+            let CacheInner { slots, lru, .. } = inner;
+            lru.retain(
+                |(k, s)| matches!(slots.get(k), Some(Slot::Present { touch, .. }) if touch == s),
+            );
+        }
     }
 
     /// Select and detach an LRU victim if over capacity (the caller
     /// performs the write-back outside the lock; the victim slot is
-    /// marked Busy meanwhile).
-    fn pick_victim(inner: &mut CacheInner, capacity: usize) -> Option<((SysName, u32), Frame)> {
+    /// marked Busy meanwhile). The returned flag reports whether the
+    /// victim was an unused read-ahead frame.
+    fn pick_victim(
+        inner: &mut CacheInner,
+        capacity: usize,
+    ) -> Option<((SysName, u32), Frame, bool)> {
         let resident = inner
             .slots
             .values()
-            .filter(|s| matches!(s, Slot::Present(_)))
+            .filter(|s| matches!(s, Slot::Present { .. }))
             .count();
         if resident < capacity {
             return None;
         }
-        while let Some(key) = inner.lru.pop_front() {
-            if let Some(Slot::Present(_)) = inner.slots.get(&key) {
-                if let Some(Slot::Present(frame)) = inner.slots.remove(&key) {
+        while let Some((key, stamp)) = inner.lru.pop_front() {
+            match inner.slots.get(&key) {
+                Some(Slot::Present { touch, .. }) if *touch == stamp => {
+                    let Some(Slot::Present {
+                        frame, prefetched, ..
+                    }) = inner.slots.remove(&key)
+                    else {
+                        unreachable!("checked above")
+                    };
                     inner.slots.insert(key, Slot::Busy(BusyKind::Evict));
-                    return Some((key, frame));
+                    return Some((key, frame, prefetched));
                 }
+                // Stale entry (slot busy, gone, or re-touched since);
+                // keep scanning.
+                _ => {}
             }
-            // else: stale LRU entry (slot busy or gone); keep scanning.
         }
         None
     }
@@ -431,12 +537,15 @@ impl PageCache {
         partition: &dyn Partition,
     ) -> Result<()> {
         self.evictions.fetch_add(1, Ordering::Relaxed);
-        let result = (|| {
-            if frame.dirty {
-                partition.write_back(key.0, key.1, &frame.data)?;
-            }
+        let result = if frame.dirty {
+            // Piggyback the release on the write-back: a dirty eviction
+            // costs one round trip instead of two.
+            partition
+                .write_back_and_release(key.0, key.1, &frame.data)
+                .map(|_| ())
+        } else {
             partition.release_page(key.0, key.1)
-        })();
+        };
         let mut inner = self.inner.lock();
         inner.slots.remove(&key); // clear the Busy marker
         self.cvar.notify_all();
@@ -458,13 +567,18 @@ impl PageCache {
                 // An eviction's dirty data is still in flight to the
                 // store: wait it out so the caller sees it there.
                 Some(Slot::Busy(BusyKind::Evict)) => self.cvar.wait(&mut inner),
-                Some(Slot::Present(_)) => {
-                    let Some(Slot::Present(frame)) = inner.slots.remove(&key) else {
+                Some(Slot::Present { .. }) => {
+                    let Some(Slot::Present {
+                        frame, prefetched, ..
+                    }) = inner.slots.remove(&key)
+                    else {
                         unreachable!("checked above")
                     };
-                    if let Some(pos) = inner.lru.iter().position(|k| *k == key) {
-                        inner.lru.remove(pos);
+                    if prefetched {
+                        self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
                     }
+                    // Stale LRU entries are skipped lazily by
+                    // pick_victim; no scan needed here.
                     self.cvar.notify_all();
                     return ReclaimOutcome::Taken {
                         dirty_data: frame.dirty.then_some(frame.data),
@@ -483,7 +597,7 @@ impl PageCache {
             match inner.slots.get_mut(&key) {
                 Some(Slot::Busy(BusyKind::Fetch)) => return None,
                 Some(Slot::Busy(BusyKind::Evict)) => self.cvar.wait(&mut inner),
-                Some(Slot::Present(frame)) => {
+                Some(Slot::Present { frame, .. }) => {
                     frame.mode = AccessMode::Read;
                     let dirty = std::mem::take(&mut frame.dirty);
                     return dirty.then(|| frame.data.clone());
@@ -496,56 +610,119 @@ impl PageCache {
     /// Write every dirty frame back through `partition` (e.g. at commit
     /// or orderly shutdown), leaving frames resident and clean.
     ///
-    /// Each frame is marked busy (as during eviction) while its data is
-    /// in flight, so a concurrent DSM recall waits for the write-back
-    /// instead of reporting a stale-clean copy — reporting clean early
-    /// would serve other nodes stale canonical data (a lost update).
+    /// All dirty frames are detached behind Busy(Evict) markers in one
+    /// lock pass and shipped through [`Partition::write_back_batch`], so
+    /// a coherent partition can coalesce an N-page commit into one round
+    /// trip per home server instead of N. While a frame's data is in
+    /// flight a concurrent DSM recall waits for the write-back instead of
+    /// reporting a stale-clean copy — reporting clean early would serve
+    /// other nodes stale canonical data (a lost update).
     ///
     /// # Errors
     ///
-    /// Propagates the first write-back failure (the frame is reinstated
-    /// dirty so the data is not lost).
+    /// Propagates the first write-back failure (failed frames are
+    /// reinstated dirty so the data is not lost).
     pub fn flush(&self, partition: &dyn Partition) -> Result<()> {
-        let dirty_keys: Vec<(SysName, u32)> = {
-            let inner = self.inner.lock();
-            inner
+        // Detach every dirty frame behind an Evict marker in one pass.
+        let mut detached: Vec<((SysName, u32), Frame)> = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            let dirty_keys: Vec<(SysName, u32)> = inner
                 .slots
                 .iter()
                 .filter_map(|(key, slot)| match slot {
-                    Slot::Present(frame) if frame.dirty => Some(*key),
+                    Slot::Present { frame, .. } if frame.dirty => Some(*key),
                     _ => None,
                 })
-                .collect()
-        };
-        for key in dirty_keys {
-            // Detach the frame behind an Evict marker.
-            let frame = {
-                let mut inner = self.inner.lock();
-                match inner.slots.get(&key) {
-                    Some(Slot::Present(frame)) if frame.dirty => {
-                        let Some(Slot::Present(frame)) = inner.slots.remove(&key) else {
-                            unreachable!("checked above")
-                        };
-                        inner.slots.insert(key, Slot::Busy(BusyKind::Evict));
-                        frame
-                    }
-                    // Raced with eviction/reclaim; nothing to do here.
-                    _ => continue,
-                }
-            };
-            let result = partition.write_back(key.0, key.1, &frame.data);
-            let mut inner = self.inner.lock();
+                .collect();
+            for key in dirty_keys {
+                let Some(Slot::Present { frame, .. }) = inner.slots.remove(&key) else {
+                    unreachable!("selected above under the same lock")
+                };
+                inner.slots.insert(key, Slot::Busy(BusyKind::Evict));
+                detached.push((key, frame));
+            }
+        }
+        if detached.is_empty() {
+            return Ok(());
+        }
+        let items: Vec<WriteBackItem> = detached
+            .iter()
+            .map(|((seg, page), frame)| WriteBackItem {
+                seg: *seg,
+                page: *page,
+                data: frame.data.clone(),
+            })
+            .collect();
+        let results = partition.write_back_batch(&items);
+        debug_assert_eq!(results.len(), detached.len());
+        let mut first_err = None;
+        let mut inner = self.inner.lock();
+        for (i, (key, mut frame)) in detached.into_iter().enumerate() {
+            let result = results.get(i).cloned().unwrap_or_else(|| {
+                Err(crate::RaError::PartitionUnavailable(
+                    "write_back_batch returned too few results".into(),
+                ))
+            });
             // Only reinstate if nobody reclaimed the page meanwhile.
             if matches!(inner.slots.get(&key), Some(Slot::Busy(BusyKind::Evict))) {
-                let mut frame = frame;
                 frame.dirty = result.is_err();
-                inner.slots.insert(key, Slot::Present(frame));
+                inner.slots.insert(
+                    key,
+                    Slot::Present {
+                        frame,
+                        touch: 0,
+                        prefetched: false,
+                    },
+                );
+                Self::touch_lru(&mut inner, key);
             }
-            self.cvar.notify_all();
-            drop(inner);
-            result?;
+            if let Err(e) = result {
+                first_err.get_or_insert(e);
+            }
         }
-        Ok(())
+        self.cvar.notify_all();
+        drop(inner);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Install a speculatively fetched page as a clean read-mode frame
+    /// (read-ahead). Returns `false` — dropping the data — when the page
+    /// is already resident or busy, or when the cache is at capacity:
+    /// read-ahead must never evict demand-loaded frames.
+    pub fn install_prefetched(&self, key: (SysName, u32), data: Vec<u8>, version: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.slots.contains_key(&key) {
+            return false;
+        }
+        let resident = inner
+            .slots
+            .values()
+            .filter(|s| matches!(s, Slot::Present { .. }))
+            .count();
+        if resident >= self.capacity {
+            return false;
+        }
+        inner.slots.insert(
+            key,
+            Slot::Present {
+                frame: Frame {
+                    data,
+                    mode: AccessMode::Read,
+                    dirty: false,
+                    version,
+                },
+                touch: 0,
+                prefetched: true,
+            },
+        );
+        Self::touch_lru(&mut inner, key);
+        self.prefetch_installs.fetch_add(1, Ordering::Relaxed);
+        self.cvar.notify_all();
+        true
     }
 
     /// Drop all frames without write-back (crash simulation).
@@ -553,6 +730,7 @@ impl PageCache {
         let mut inner = self.inner.lock();
         inner.slots.clear();
         inner.lru.clear();
+        inner.touch_counter = 0;
         self.cvar.notify_all();
     }
 
@@ -562,8 +740,13 @@ impl PageCache {
             .lock()
             .slots
             .values()
-            .filter(|s| matches!(s, Slot::Present(_)))
+            .filter(|s| matches!(s, Slot::Present { .. }))
             .count()
+    }
+
+    /// Frame capacity the cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Snapshot of the fault counters.
@@ -573,6 +756,9 @@ impl PageCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             upgrades: self.upgrades.load(Ordering::Relaxed),
+            prefetch_installs: self.prefetch_installs.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
         }
     }
 }

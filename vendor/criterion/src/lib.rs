@@ -47,13 +47,20 @@ impl BenchmarkGroup {
     where
         F: FnMut(&mut Bencher),
     {
+        // `CRITERION_SAMPLE_SIZE` overrides every group's sample count —
+        // CI quick mode sets it low to bound wall-clock.
+        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.sample_size)
+            .max(1);
         let mut bencher = Bencher {
-            samples: Vec::with_capacity(self.sample_size),
+            samples: Vec::with_capacity(sample_size),
         };
         // Warm-up pass, unmeasured.
         f(&mut bencher);
         bencher.samples.clear();
-        for _ in 0..self.sample_size {
+        for _ in 0..sample_size {
             f(&mut bencher);
         }
         let per_iter: Vec<Duration> = bencher.samples;
@@ -82,6 +89,30 @@ impl BenchmarkGroup {
             }
         }
         println!("{line}");
+        // `CRITERION_JSON=path` appends one estimate object per bench as
+        // a JSON line, the machine-readable counterpart of the printed
+        // report (real criterion's estimates.json stand-in).
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            use std::io::Write;
+            let throughput_bytes = match self.throughput {
+                Some(Throughput::Bytes(b)) => b,
+                _ => 0,
+            };
+            let record = format!(
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"samples\":{},\"throughput_bytes\":{}}}\n",
+                self.name,
+                id,
+                min.as_nanos(),
+                mean.as_nanos(),
+                per_iter.len(),
+                throughput_bytes,
+            );
+            let _ = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut file| file.write_all(record.as_bytes()));
+        }
         self
     }
 
