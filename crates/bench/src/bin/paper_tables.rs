@@ -207,6 +207,60 @@ fn main() {
         ],
     );
 
+    // E8 — per-layer latency breakdown of the batched E7 scan, read
+    // from the client's clouds-obs metrics registry.
+    let b = paging_exp::run_layer_breakdown();
+    let share = |vt: clouds_simnet::Vt| {
+        format!("{:.0}%", 100.0 * vt.as_nanos() as f64 / b.total.as_nanos().max(1) as f64)
+    };
+    print_table(
+        "E8  Per-layer latency breakdown of the batched scan (clouds-obs registry)",
+        &[
+            Row::new(
+                "whole scan (client clock)",
+                "—",
+                ms(b.total),
+                format!("{} pages", paging_exp::SCAN_PAGES),
+            ),
+            Row::new(
+                "dsm.client.fetch (fault service)",
+                "—",
+                ms(b.dsm_fetch.sum),
+                format!(
+                    "{} of total; n={}, p50 {}, p99 {}",
+                    share(b.dsm_fetch.sum),
+                    b.dsm_fetch.count,
+                    ms(b.dsm_fetch.p50),
+                    ms(b.dsm_fetch.p99)
+                ),
+            ),
+            Row::new(
+                "ratp.call (wire transactions)",
+                "—",
+                ms(b.ratp_call.sum),
+                format!(
+                    "{} of total; n={}, p50 {}, p99 {}",
+                    share(b.ratp_call.sum),
+                    b.ratp_call.count,
+                    ms(b.ratp_call.p50),
+                    ms(b.ratp_call.p99)
+                ),
+            ),
+            Row::new(
+                "dsm bookkeeping above transport",
+                "—",
+                ms(b.dsm_overhead()),
+                "fetch − wire: decode, install, acks",
+            ),
+            Row::new(
+                "local compute (no fault taken)",
+                "—",
+                ms(b.local_compute()),
+                "scan − fetch: MMU hits + the reads",
+            ),
+        ],
+    );
+
     println!();
     println!("done. see EXPERIMENTS.md for the recorded snapshot and commentary.");
 }

@@ -10,6 +10,7 @@
 
 use clouds_dsm::proto::{self, ports, DsmReply, DsmRequest};
 use clouds_dsm::{DsmClientConfig, DsmClientPartition, DsmServer};
+use clouds_obs::HistogramSummary;
 use clouds_ra::{AddressSpace, PageCache, Partition, SysName, PAGE_SIZE};
 use clouds_ratp::{RatpConfig, RatpNode};
 use clouds_simnet::{CostModel, Network, NodeId, Vt};
@@ -72,6 +73,12 @@ fn space(part: &Arc<DsmClientPartition>, seg: SysName, pages: u64) -> AddressSpa
 /// store over the raw wire (written back and released), then time a cold
 /// client reading every page in order.
 fn scan(config: DsmClientConfig) -> Measurement {
+    scan_keeping_client(config).0
+}
+
+/// [`scan`], but hand back the client partition too so callers can read
+/// its metrics registry after the run.
+fn scan_keeping_client(config: DsmClientConfig) -> (Measurement, Arc<DsmClientPartition>) {
     let net = Network::new(CostModel::sun3_ethernet());
     let home = NodeId(100);
     let ds = RatpNode::spawn(net.register(home).expect("server node"), RatpConfig::default());
@@ -105,10 +112,11 @@ fn scan(config: DsmClientConfig) -> Measurement {
     for page in 0..SCAN_PAGES {
         rs.read_u64(page * PAGE_SIZE as u64).expect("scan read");
     }
-    Measurement {
+    let m = Measurement {
         vt: clock.now() - start,
         rpcs: reader.stats().fetch_rpcs,
-    }
+    };
+    (m, reader)
 }
 
 /// Commit flush of a dirty working set: dirty `FLUSH_PAGES` pages
@@ -141,6 +149,48 @@ fn flush(config: DsmClientConfig) -> Measurement {
     Measurement {
         vt: clock.now() - start,
         rpcs,
+    }
+}
+
+/// E8 — where the virtual time of the batched sequential scan goes,
+/// layer by layer, read straight out of the client's `clouds-obs`
+/// [`MetricsRegistry`](clouds_obs::MetricsRegistry) histograms
+/// (`dsm.client.fetch` wraps the whole
+/// fault→install path; `ratp.call` is the wire transaction nested
+/// inside it).
+#[derive(Debug, Clone)]
+pub struct LayerBreakdown {
+    /// End-to-end virtual time of the scan on the client clock.
+    pub total: Vt,
+    /// Full DSM fault service: RPC + grant decode + page installs.
+    pub dsm_fetch: HistogramSummary,
+    /// RaTP transaction alone: fragmentation, wire, reassembly.
+    pub ratp_call: HistogramSummary,
+}
+
+impl LayerBreakdown {
+    /// Virtual time spent in DSM bookkeeping above the transport
+    /// (decode, cache install, ack) — `dsm.client.fetch − ratp.call`.
+    pub fn dsm_overhead(&self) -> Vt {
+        self.dsm_fetch.sum - self.ratp_call.sum
+    }
+
+    /// Virtual time outside any fault — MMU hits and the reads
+    /// themselves — `total − dsm.client.fetch`.
+    pub fn local_compute(&self) -> Vt {
+        self.total - self.dsm_fetch.sum
+    }
+}
+
+/// Run the batched E7 scan and report its per-layer latency breakdown
+/// from the registry.
+pub fn run_layer_breakdown() -> LayerBreakdown {
+    let (m, reader) = scan_keeping_client(DsmClientConfig::default());
+    let registry = reader.obs().registry();
+    LayerBreakdown {
+        total: m.vt,
+        dsm_fetch: registry.histogram_summary("dsm.client.fetch"),
+        ratp_call: registry.histogram_summary("ratp.call"),
     }
 }
 
@@ -181,5 +231,20 @@ mod tests {
             r.flush_batched.vt,
             r.flush_unbatched.vt
         );
+    }
+
+    #[test]
+    fn e8_layer_breakdown_accounts_for_the_scan() {
+        let b = run_layer_breakdown();
+        // One histogram sample per batched fetch; the wire transaction
+        // count can only exceed it (resolution probes ride along).
+        assert!(b.dsm_fetch.count > 0, "{b:?}");
+        assert!(b.ratp_call.count >= b.dsm_fetch.count, "{b:?}");
+        // The layers nest: wire time inside fault service, fault
+        // service inside the scan — so the sums must be ordered and the
+        // derived shares non-negative.
+        assert!(b.ratp_call.sum <= b.dsm_fetch.sum, "{b:?}");
+        assert!(b.dsm_fetch.sum <= b.total, "{b:?}");
+        assert!(b.dsm_overhead() + b.local_compute() + b.ratp_call.sum <= b.total, "{b:?}");
     }
 }

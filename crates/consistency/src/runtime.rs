@@ -182,6 +182,10 @@ impl ConsistencyRuntime {
                 }
                 Err(CloudsError::ConsistencyAbort(m)) => {
                     self.aborts.fetch_add(1, Ordering::Relaxed);
+                    compute
+                        .ratp()
+                        .obs()
+                        .instant("2pc", "cp_abort", format!("attempt={_attempt}"));
                     last_error = Some(CloudsError::ConsistencyAbort(m));
                     // Back off with owner-dependent jitter so two aborted
                     // threads do not collide again in lock-step (the
@@ -267,6 +271,11 @@ impl ConsistencyRuntime {
                 // Distinct servers are applied in parallel — the commit
                 // costs one round trip regardless of how many data
                 // servers the shadow set spans.
+                compute.ratp().obs().instant(
+                    "2pc",
+                    "apply_local",
+                    format!("txn={txn} servers={}", by_server.len()),
+                );
                 let calls: Vec<(NodeId, CommitRequest)> = by_server
                     .into_iter()
                     .map(|(server, pages)| (server, CommitRequest::ApplyLocal { txn, pages }))
@@ -290,6 +299,10 @@ impl ConsistencyRuntime {
         by_server: HashMap<NodeId, Vec<PageImage>>,
     ) -> Result<(), CloudsError> {
         let servers: Vec<NodeId> = by_server.keys().copied().collect();
+        let obs = Arc::clone(compute.ratp().obs());
+        let mut span = obs.span("2pc", "gcp_commit");
+        span.set_args(format!("txn={txn} participants={}", servers.len()));
+        obs.counter("2pc.prepares").add(servers.len() as u64);
 
         // Phase 1: prepare everywhere, in parallel across participants
         // (each prepare is an independent vote; the decision only needs
@@ -311,7 +324,10 @@ impl ConsistencyRuntime {
             .into_iter()
             .all(|r| matches!(r, Ok(CommitReply::Ok)));
 
+        obs.instant("2pc", "prepare", format!("txn={txn} ok={all_prepared}"));
         if !all_prepared {
+            obs.counter("2pc.aborts").inc();
+            obs.instant("2pc", "abort", format!("txn={txn} cause=prepare"));
             self.broadcast(compute, &servers, |_| CommitRequest::Abort { txn });
             return Err(CloudsError::ConsistencyAbort(format!(
                 "prepare phase failed for txn {txn}"
@@ -323,6 +339,8 @@ impl ConsistencyRuntime {
         match self.call(compute, self.registry_node, &CommitRequest::RecordOutcome { txn }) {
             Ok(CommitReply::Ok) => {}
             _ => {
+                obs.counter("2pc.aborts").inc();
+                obs.instant("2pc", "abort", format!("txn={txn} cause=outcome_record"));
                 self.broadcast(compute, &servers, |_| CommitRequest::Abort { txn });
                 return Err(CloudsError::ConsistencyAbort(format!(
                     "could not record commit decision for txn {txn}"
@@ -335,6 +353,8 @@ impl ConsistencyRuntime {
         // misses the message recovers the verdict from the registry on
         // restart.
         self.broadcast(compute, &servers, |_| CommitRequest::Commit { txn });
+        obs.counter("2pc.commits").inc();
+        obs.instant("2pc", "commit", format!("txn={txn}"));
         Ok(())
     }
 

@@ -5,10 +5,13 @@ use crate::class::{ClassRegistry, ObjectCode};
 use crate::error::CloudsError;
 use crate::node::{ComputeServer, DataServer, Workstation};
 use clouds_naming::NameClient;
+use clouds_obs::TraceSink;
 use clouds_ra::SysName;
 use clouds_ratp::RatpConfig;
 use clouds_simnet::{CostModel, Network, NodeId};
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// First node id used for compute servers.
@@ -120,6 +123,13 @@ impl ClusterBuilder {
 
         let net = Network::with_seed(self.cost, self.seed);
         let registry = ClassRegistry::new();
+        // One ring buffer for the whole cluster: every node's NodeObs
+        // shares it, so the canonical stream interleaves all layers on
+        // the common virtual timeline. `CLOUDS_TRACE=<path>` makes the
+        // cluster write it out on drop (`.json` → Chrome trace_event,
+        // anything else → JSONL).
+        let trace_sink = Arc::new(TraceSink::default());
+        let trace_path = std::env::var_os("CLOUDS_TRACE").map(PathBuf::from);
 
         let data_nodes: Vec<NodeId> = (0..self.data_servers)
             .map(|i| NodeId(DATA_BASE_ID + i as u32))
@@ -134,13 +144,15 @@ impl ClusterBuilder {
         let datas: Vec<DataServer> = data_nodes
             .iter()
             .enumerate()
-            .map(|(i, &node)| DataServer::boot(&net, node, server_ratp.clone(), i == 0))
+            .map(|(i, &node)| {
+                DataServer::boot_traced(&net, node, server_ratp.clone(), i == 0, Some(&trace_sink))
+            })
             .collect();
 
         let computes: Vec<ComputeServer> = compute_nodes
             .iter()
             .map(|&node| {
-                ComputeServer::boot(
+                ComputeServer::boot_traced(
                     &net,
                     node,
                     data_nodes.clone(),
@@ -149,18 +161,20 @@ impl ClusterBuilder {
                     server_ratp.clone(),
                     self.cpus,
                     self.cache_frames,
+                    Some(&trace_sink),
                 )
             })
             .collect();
 
         let stations: Vec<Workstation> = (0..self.workstations)
             .map(|i| {
-                Workstation::boot(
+                Workstation::boot_traced(
                     &net,
                     NodeId(WS_BASE + i as u32),
                     compute_nodes.clone(),
                     naming_server,
                     workstation_ratp_config(),
+                    Some(&trace_sink),
                 )
             })
             .collect();
@@ -171,6 +185,8 @@ impl ClusterBuilder {
             computes,
             datas,
             stations,
+            trace_sink,
+            trace_path,
         })
     }
 }
@@ -202,6 +218,8 @@ pub struct Cluster {
     computes: Vec<ComputeServer>,
     datas: Vec<DataServer>,
     stations: Vec<Workstation>,
+    trace_sink: Arc<TraceSink>,
+    trace_path: Option<PathBuf>,
 }
 
 impl fmt::Debug for Cluster {
@@ -223,6 +241,22 @@ impl Cluster {
     /// The simulated network (fault injection, stats, clocks).
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// The cluster-shared trace sink (every node's events, one virtual
+    /// timeline).
+    pub fn trace_sink(&self) -> &Arc<TraceSink> {
+        &self.trace_sink
+    }
+
+    /// Write the trace out now: `.json` extension selects the Chrome
+    /// `trace_event` format, anything else canonical JSONL.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.trace_sink.write_to_path(path)
     }
 
     /// Load a class on every compute server ("the compiler loads the
@@ -332,5 +366,15 @@ impl Cluster {
     /// Panics if out of range.
     pub fn restart_compute(&self, i: usize) {
         self.computes[i].restart(&self.net);
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(path) = &self.trace_path {
+            if let Err(e) = self.trace_sink.write_to_path(path) {
+                eprintln!("CLOUDS_TRACE: could not write {}: {e}", path.display());
+            }
+        }
     }
 }

@@ -24,6 +24,7 @@ use crate::object_manager::ObjectManager;
 use crate::thread::{ThreadHandle, ThreadId, ThreadState};
 use clouds_dsm::{ports, DsmClientPartition, DsmServer, LockService, SemaphoreService};
 use clouds_naming::{NameClient, NameServer};
+use clouds_obs::{MetricsRegistry, NodeObs, TraceSink};
 use clouds_ra::{PageCache, RaKernel, SysName};
 use clouds_ratp::{RatpConfig, RatpNode, Request};
 use clouds_simnet::{Network, NodeId};
@@ -170,6 +171,14 @@ impl ComputeInner {
             )));
         }
         let self_arc = self.self_arc();
+        let obs = self.ratp.obs();
+        let mut span = obs
+            .span("invoke", "invoke")
+            .with_histogram(obs.histogram("invoke.call"));
+        span.set_args(format!(
+            "obj={target} entry={entry} depth={}",
+            thread.depth
+        ));
         let activation = self.object_manager.activate(target)?;
         let cost = self.kernel.cost().clone();
         // Entering the object: context switch + stack remap (§4.3).
@@ -425,6 +434,25 @@ impl ComputeInner {
     }
 }
 
+/// Build a node's observability handle: joined to the cluster-shared
+/// trace sink when one is given, otherwise standalone.
+fn make_obs(
+    net: &Network,
+    node: NodeId,
+    sink: Option<&Arc<TraceSink>>,
+) -> Arc<NodeObs> {
+    let clock = net.clock(node).expect("node registered");
+    match sink {
+        Some(sink) => NodeObs::new(
+            node.0 as u64,
+            clock,
+            Arc::new(MetricsRegistry::new()),
+            Arc::clone(sink),
+        ),
+        None => NodeObs::solo(node.0 as u64, clock),
+    }
+}
+
 fn encode<T: Serialize>(value: &T) -> bytes::Bytes {
     bytes::Bytes::from(clouds_codec::to_bytes(value).expect("protocol types encode"))
 }
@@ -467,10 +495,38 @@ impl ComputeServer {
         cpus: usize,
         cache_frames: usize,
     ) -> ComputeServer {
+        ComputeServer::boot_traced(
+            net,
+            node,
+            data_servers,
+            naming_server,
+            registry,
+            ratp_config,
+            cpus,
+            cache_frames,
+            None,
+        )
+    }
+
+    /// [`ComputeServer::boot`], joining the node to a cluster-shared
+    /// trace sink when one is given.
+    #[allow(clippy::too_many_arguments)]
+    pub fn boot_traced(
+        net: &Network,
+        node: NodeId,
+        data_servers: Vec<NodeId>,
+        naming_server: NodeId,
+        registry: ClassRegistry,
+        ratp_config: RatpConfig,
+        cpus: usize,
+        cache_frames: usize,
+        sink: Option<&Arc<TraceSink>>,
+    ) -> ComputeServer {
         let endpoint = net.register(node).expect("node id unique");
         let clock = net.clock(node).expect("registered above");
         let cost = net.cost_model().clone();
-        let ratp = RatpNode::spawn(endpoint, ratp_config);
+        let obs = make_obs(net, node, sink);
+        let ratp = RatpNode::spawn_with_obs(endpoint, ratp_config, obs);
         let cache = Arc::new(PageCache::new(cache_frames));
         let dsm = DsmClientPartition::install(&ratp, Arc::clone(&cache), data_servers);
         let kernel = RaKernel::new_with_cache(
@@ -481,6 +537,9 @@ impl ComputeServer {
             cpus,
             cache,
         );
+        // The scheduler cannot depend on the transport layer, so its
+        // trace hookup is installed here at boot.
+        kernel.scheduler().set_obs(Arc::clone(ratp.obs()));
         let object_manager =
             ObjectManager::new_dsm(Arc::clone(&kernel), Arc::clone(&dsm), registry);
         let naming = NameClient::new(&ratp, naming_server);
@@ -766,8 +825,21 @@ impl DataServer {
         ratp_config: RatpConfig,
         with_naming: bool,
     ) -> DataServer {
+        DataServer::boot_traced(net, node, ratp_config, with_naming, None)
+    }
+
+    /// [`DataServer::boot`], joining the node to a cluster-shared trace
+    /// sink when one is given.
+    pub fn boot_traced(
+        net: &Network,
+        node: NodeId,
+        ratp_config: RatpConfig,
+        with_naming: bool,
+        sink: Option<&Arc<TraceSink>>,
+    ) -> DataServer {
         let endpoint = net.register(node).expect("node id unique");
-        let ratp = RatpNode::spawn(endpoint, ratp_config);
+        let obs = make_obs(net, node, sink);
+        let ratp = RatpNode::spawn_with_obs(endpoint, ratp_config, obs);
         let dsm = DsmServer::install(&ratp);
         let locks = LockService::install(&ratp);
         let semaphores = SemaphoreService::install(&ratp);
@@ -899,8 +971,22 @@ impl Workstation {
         naming_server: NodeId,
         ratp_config: RatpConfig,
     ) -> Workstation {
+        Workstation::boot_traced(net, node, computes, naming_server, ratp_config, None)
+    }
+
+    /// [`Workstation::boot`], joining the node to a cluster-shared trace
+    /// sink when one is given.
+    pub fn boot_traced(
+        net: &Network,
+        node: NodeId,
+        computes: Vec<NodeId>,
+        naming_server: NodeId,
+        ratp_config: RatpConfig,
+        sink: Option<&Arc<TraceSink>>,
+    ) -> Workstation {
         let endpoint = net.register(node).expect("node id unique");
-        let ratp = RatpNode::spawn(endpoint, ratp_config);
+        let obs = make_obs(net, node, sink);
+        let ratp = RatpNode::spawn_with_obs(endpoint, ratp_config, obs);
         let io = UserIoManager::install(&ratp);
         let naming = NameClient::new(&ratp, naming_server);
         Workstation {

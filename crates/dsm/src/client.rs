@@ -10,6 +10,7 @@ use crate::proto::{
     self, ports, DsmReply, DsmRequest, RecallReply, RecallRequest, WireInstallAck, WireMode,
     WireWriteBack,
 };
+use clouds_obs::{Counter, Histogram, NodeObs};
 use clouds_ra::{
     AccessMode, PageCache, PageFetch, Partition, RaError, ReclaimOutcome, SysName, WriteBackItem,
 };
@@ -18,7 +19,6 @@ use clouds_simnet::NodeId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tunables for a [`DsmClientPartition`].
@@ -45,6 +45,12 @@ impl Default for DsmClientConfig {
 }
 
 /// Client-side paging counters: how much batching actually happened.
+///
+/// This struct is a **read shim** over the node's
+/// [`clouds_obs::MetricsRegistry`] (counters `dsm.client.*`) plus the
+/// page cache's prefetch counters; the partition itself keeps no ad-hoc
+/// statistics. [`DsmClientPartition::stats`] assembles a snapshot with
+/// the historical field names so existing consumers keep working.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DsmClientStats {
     /// Fetch RPCs issued (`FetchPage` + `FetchPages`).
@@ -83,12 +89,34 @@ pub struct DsmClientPartition {
     /// the newest grant. A read fault landing exactly there is part of a
     /// sequential scan and fetches a whole window.
     next_expected: Mutex<HashMap<SysName, u32>>,
-    fetch_rpcs: AtomicU64,
-    batch_fetches: AtomicU64,
-    pages_granted: AtomicU64,
-    batch_write_back_rpcs: AtomicU64,
-    pages_written_batched: AtomicU64,
-    merged_evictions: AtomicU64,
+    obs: Arc<NodeObs>,
+    metrics: ClientMetrics,
+}
+
+/// Registry-backed paging counters (`dsm.client.*`), cached at install
+/// so the fault path never resolves names.
+struct ClientMetrics {
+    fetch_rpcs: Arc<Counter>,
+    batch_fetches: Arc<Counter>,
+    pages_granted: Arc<Counter>,
+    batch_write_back_rpcs: Arc<Counter>,
+    pages_written_batched: Arc<Counter>,
+    merged_evictions: Arc<Counter>,
+    fetch_latency: Arc<Histogram>,
+}
+
+impl ClientMetrics {
+    fn new(obs: &NodeObs) -> ClientMetrics {
+        ClientMetrics {
+            fetch_rpcs: obs.counter("dsm.client.fetch_rpcs"),
+            batch_fetches: obs.counter("dsm.client.batch_fetches"),
+            pages_granted: obs.counter("dsm.client.pages_granted"),
+            batch_write_back_rpcs: obs.counter("dsm.client.batch_write_back_rpcs"),
+            pages_written_batched: obs.counter("dsm.client.pages_written_batched"),
+            merged_evictions: obs.counter("dsm.client.merged_evictions"),
+            fetch_latency: obs.histogram("dsm.client.fetch"),
+        }
+    }
 }
 
 impl fmt::Debug for DsmClientPartition {
@@ -131,6 +159,7 @@ impl DsmClientPartition {
             !data_servers.is_empty(),
             "a DSM client needs at least one data server"
         );
+        let obs = Arc::clone(ratp.obs());
         let part = Arc::new(DsmClientPartition {
             ratp: Arc::clone(ratp),
             cache: Arc::clone(&cache),
@@ -138,23 +167,24 @@ impl DsmClientPartition {
             homes: Mutex::new(HashMap::new()),
             config,
             next_expected: Mutex::new(HashMap::new()),
-            fetch_rpcs: AtomicU64::new(0),
-            batch_fetches: AtomicU64::new(0),
-            pages_granted: AtomicU64::new(0),
-            batch_write_back_rpcs: AtomicU64::new(0),
-            pages_written_batched: AtomicU64::new(0),
-            merged_evictions: AtomicU64::new(0),
+            metrics: ClientMetrics::new(&obs),
+            obs,
         });
+        let obs = Arc::clone(part.ratp.obs());
         ratp.register_service(ports::DSM_CLIENT, move |req: Request| {
             let reply = match proto::decode::<RecallRequest>(&req.payload) {
-                Ok(RecallRequest::Reclaim { seg, page }) => match cache.reclaim((seg, page)) {
-                    ReclaimOutcome::NotPresent => RecallReply::NotPresent,
-                    ReclaimOutcome::Taken { dirty_data: None } => RecallReply::Clean,
-                    ReclaimOutcome::Taken {
-                        dirty_data: Some(data),
-                    } => RecallReply::Dirty(data),
-                },
+                Ok(RecallRequest::Reclaim { seg, page }) => {
+                    obs.instant("dsm.client", "recall", format!("seg={seg} page={page}"));
+                    match cache.reclaim((seg, page)) {
+                        ReclaimOutcome::NotPresent => RecallReply::NotPresent,
+                        ReclaimOutcome::Taken { dirty_data: None } => RecallReply::Clean,
+                        ReclaimOutcome::Taken {
+                            dirty_data: Some(data),
+                        } => RecallReply::Dirty(data),
+                    }
+                }
                 Ok(RecallRequest::Downgrade { seg, page }) => {
+                    obs.instant("dsm.client", "downgrade", format!("seg={seg} page={page}"));
                     match cache.downgrade((seg, page)) {
                         Some(data) => RecallReply::Dirty(data),
                         None => RecallReply::Clean,
@@ -177,17 +207,18 @@ impl DsmClientPartition {
         self.config
     }
 
-    /// Snapshot of the client-side paging counters (merges the cache's
-    /// prefetch counters with this partition's RPC counters).
+    /// Snapshot of the client-side paging counters: the read shim over
+    /// the metrics registry (`dsm.client.*`), merged with the cache's
+    /// prefetch counters.
     pub fn stats(&self) -> DsmClientStats {
         let cache = self.cache.stats();
-        let batch_rpcs = self.batch_write_back_rpcs.load(Ordering::Relaxed);
-        let batch_pages = self.pages_written_batched.load(Ordering::Relaxed);
-        let merged = self.merged_evictions.load(Ordering::Relaxed);
+        let batch_rpcs = self.metrics.batch_write_back_rpcs.get();
+        let batch_pages = self.metrics.pages_written_batched.get();
+        let merged = self.metrics.merged_evictions.get();
         DsmClientStats {
-            fetch_rpcs: self.fetch_rpcs.load(Ordering::Relaxed),
-            batch_fetches: self.batch_fetches.load(Ordering::Relaxed),
-            pages_granted: self.pages_granted.load(Ordering::Relaxed),
+            fetch_rpcs: self.metrics.fetch_rpcs.get(),
+            batch_fetches: self.metrics.batch_fetches.get(),
+            pages_granted: self.metrics.pages_granted.get(),
             prefetch_installs: cache.prefetch_installs,
             prefetch_hits: cache.prefetch_hits,
             prefetch_wasted: cache.prefetch_wasted,
@@ -196,6 +227,11 @@ impl DsmClientPartition {
             merged_evictions: merged,
             rtts_saved: cache.prefetch_hits + batch_pages.saturating_sub(batch_rpcs) + merged,
         }
+    }
+
+    /// This node's observability handle (same as the transport's).
+    pub fn obs(&self) -> &Arc<NodeObs> {
+        &self.obs
     }
 
     /// The data servers this client knows about.
@@ -318,8 +354,13 @@ impl DsmClientPartition {
     /// the cache declined (full, or slot raced) are acked with
     /// `installed: false` so the server forgets those copies.
     fn fetch_batch(&self, seg: SysName, first: u32, window: u32) -> clouds_ra::Result<PageFetch> {
-        self.fetch_rpcs.fetch_add(1, Ordering::Relaxed);
-        self.batch_fetches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.fetch_rpcs.inc();
+        self.metrics.batch_fetches.inc();
+        let mut span = self
+            .obs
+            .span("dsm.client", "fetch_pages")
+            .with_histogram(Arc::clone(&self.metrics.fetch_latency));
+        span.set_args(format!("seg={seg} first={first} window={window}"));
         self.on_home(seg, |home| {
             match self.call(
                 home,
@@ -331,8 +372,7 @@ impl DsmClientPartition {
                 },
             )? {
                 DsmReply::Pages { first: f, mut pages } if f == first && !pages.is_empty() => {
-                    self.pages_granted
-                        .fetch_add(pages.len() as u64, Ordering::Relaxed);
+                    self.metrics.pages_granted.add(pages.len() as u64);
                     let tail = pages.split_off(1);
                     let head = pages.pop().expect("non-empty checked above");
                     let mut acks = Vec::with_capacity(tail.len());
@@ -377,9 +417,10 @@ impl DsmClientPartition {
         pages: Vec<WireWriteBack>,
     ) -> Vec<clouds_ra::Result<u64>> {
         let n = pages.len();
-        self.batch_write_back_rpcs.fetch_add(1, Ordering::Relaxed);
-        self.pages_written_batched
-            .fetch_add(n as u64, Ordering::Relaxed);
+        self.metrics.batch_write_back_rpcs.inc();
+        self.metrics.pages_written_batched.add(n as u64);
+        let mut span = self.obs.span("dsm.client", "write_back_batch");
+        span.set_args(format!("home={} pages={n}", home.0));
         match self.call(home, &DsmRequest::WriteBackBatch { pages }) {
             Ok(DsmReply::WriteBackResults { results }) if results.len() == n => results
                 .into_iter()
@@ -454,7 +495,12 @@ impl Partition for DsmClientPartition {
             AccessMode::Read => WireMode::Read,
             AccessMode::Write => WireMode::Write,
         };
-        self.fetch_rpcs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.fetch_rpcs.inc();
+        let mut span = self
+            .obs
+            .span("dsm.client", "fetch_page")
+            .with_histogram(Arc::clone(&self.metrics.fetch_latency));
+        span.set_args(format!("seg={seg} page={page} mode={mode:?}"));
         let fetched = self.on_home(seg, |home| {
             match self.call(
                 home,
@@ -479,7 +525,7 @@ impl Partition for DsmClientPartition {
                 other => Err(unexpected(other)),
             }
         })?;
-        self.pages_granted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.pages_granted.inc();
         if mode == AccessMode::Read {
             self.note_grant(seg, page, 1);
         }
@@ -579,7 +625,7 @@ impl Partition for DsmClientPartition {
             }
         })
         .inspect(|_| {
-            self.merged_evictions.fetch_add(1, Ordering::Relaxed);
+            self.metrics.merged_evictions.inc();
         })
     }
 

@@ -23,6 +23,7 @@ use crate::proto::{
     self, ports, DsmReply, DsmRequest, RecallReply, RecallRequest, WireMode, WirePageGrant,
     WireWriteBack,
 };
+use clouds_obs::{Counter, NodeObs};
 use clouds_ra::{RaError, SegmentStore, SysName};
 use clouds_ratp::{CallError, RatpNode, Request};
 use clouds_simnet::NodeId;
@@ -65,6 +66,10 @@ struct Directory {
 
 /// Traffic counters for the coherence protocol (experiment E4 reports
 /// these as "page migrations").
+///
+/// This is a *read shim*: the live counters are `dsm.server.*` entries
+/// in the node's [`clouds_obs::MetricsRegistry`], and
+/// [`DsmServer::stats`] assembles this snapshot from them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DsmServerStats {
     /// Shared-copy grants served.
@@ -104,17 +109,41 @@ pub struct DsmServer {
     store: SegmentStore,
     directory: Mutex<Directory>,
     busy_cvar: Condvar,
-    read_grants: AtomicU64,
-    write_grants: AtomicU64,
-    invalidations: AtomicU64,
-    downgrades: AtomicU64,
-    write_backs: AtomicU64,
+    obs: Arc<NodeObs>,
+    metrics: ServerMetrics,
     grant_seq: AtomicU64,
-    ack_timeouts: AtomicU64,
-    fetch_rpcs: AtomicU64,
-    batch_fetches: AtomicU64,
-    prefetch_pages_granted: AtomicU64,
-    batch_write_backs: AtomicU64,
+}
+
+/// Registry-backed counter handles, resolved once at install time so the
+/// hot paths never go through the registry map.
+struct ServerMetrics {
+    read_grants: Arc<Counter>,
+    write_grants: Arc<Counter>,
+    invalidations: Arc<Counter>,
+    downgrades: Arc<Counter>,
+    write_backs: Arc<Counter>,
+    ack_timeouts: Arc<Counter>,
+    fetch_rpcs: Arc<Counter>,
+    batch_fetches: Arc<Counter>,
+    prefetch_pages_granted: Arc<Counter>,
+    batch_write_backs: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new(obs: &NodeObs) -> ServerMetrics {
+        ServerMetrics {
+            read_grants: obs.counter("dsm.server.read_grants"),
+            write_grants: obs.counter("dsm.server.write_grants"),
+            invalidations: obs.counter("dsm.server.invalidations"),
+            downgrades: obs.counter("dsm.server.downgrades"),
+            write_backs: obs.counter("dsm.server.write_backs"),
+            ack_timeouts: obs.counter("dsm.server.ack_timeouts"),
+            fetch_rpcs: obs.counter("dsm.server.fetch_rpcs"),
+            batch_fetches: obs.counter("dsm.server.batch_fetches"),
+            prefetch_pages_granted: obs.counter("dsm.server.prefetch_pages_granted"),
+            batch_write_backs: obs.counter("dsm.server.batch_write_backs"),
+        }
+    }
 }
 
 impl fmt::Debug for DsmServer {
@@ -136,22 +165,16 @@ impl DsmServer {
     /// Like [`DsmServer::install`] but over an existing store — used
     /// when a crashed data server restarts with its surviving disk.
     pub fn install_with_store(ratp: &Arc<RatpNode>, store: SegmentStore) -> Arc<DsmServer> {
+        let obs = Arc::clone(ratp.obs());
+        let metrics = ServerMetrics::new(&obs);
         let server = Arc::new(DsmServer {
             ratp: Arc::clone(ratp),
             store,
             directory: Mutex::new(Directory::default()),
             busy_cvar: Condvar::new(),
-            read_grants: AtomicU64::new(0),
-            write_grants: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-            downgrades: AtomicU64::new(0),
-            write_backs: AtomicU64::new(0),
+            obs,
+            metrics,
             grant_seq: AtomicU64::new(1),
-            ack_timeouts: AtomicU64::new(0),
-            fetch_rpcs: AtomicU64::new(0),
-            batch_fetches: AtomicU64::new(0),
-            prefetch_pages_granted: AtomicU64::new(0),
-            batch_write_backs: AtomicU64::new(0),
         });
         let handler = Arc::clone(&server);
         ratp.register_service(ports::DSM_SERVER, move |req: Request| {
@@ -175,20 +198,26 @@ impl DsmServer {
         self.ratp.node_id()
     }
 
-    /// Snapshot of protocol counters.
+    /// Snapshot of protocol counters (the read shim over the node's
+    /// metrics registry).
     pub fn stats(&self) -> DsmServerStats {
         DsmServerStats {
-            read_grants: self.read_grants.load(Ordering::Relaxed),
-            write_grants: self.write_grants.load(Ordering::Relaxed),
-            invalidations: self.invalidations.load(Ordering::Relaxed),
-            downgrades: self.downgrades.load(Ordering::Relaxed),
-            write_backs: self.write_backs.load(Ordering::Relaxed),
-            ack_timeouts: self.ack_timeouts.load(Ordering::Relaxed),
-            fetch_rpcs: self.fetch_rpcs.load(Ordering::Relaxed),
-            batch_fetches: self.batch_fetches.load(Ordering::Relaxed),
-            prefetch_pages_granted: self.prefetch_pages_granted.load(Ordering::Relaxed),
-            batch_write_backs: self.batch_write_backs.load(Ordering::Relaxed),
+            read_grants: self.metrics.read_grants.get(),
+            write_grants: self.metrics.write_grants.get(),
+            invalidations: self.metrics.invalidations.get(),
+            downgrades: self.metrics.downgrades.get(),
+            write_backs: self.metrics.write_backs.get(),
+            ack_timeouts: self.metrics.ack_timeouts.get(),
+            fetch_rpcs: self.metrics.fetch_rpcs.get(),
+            batch_fetches: self.metrics.batch_fetches.get(),
+            prefetch_pages_granted: self.metrics.prefetch_pages_granted.get(),
+            batch_write_backs: self.metrics.batch_write_backs.get(),
         }
+    }
+
+    /// This node's observability handle (registry + trace sink).
+    pub fn obs(&self) -> &Arc<NodeObs> {
+        &self.obs
     }
 
     /// Coherently install a page image: recalls every cached copy at
@@ -209,19 +238,19 @@ impl DsmServer {
                     // image: the commit holds the write lock, so a correct
                     // cp/s-thread mix cannot produce a competing dirty copy.
                     self.recall(*owner, RecallRequest::Reclaim { seg, page })?;
-                    self.invalidations.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.invalidations.inc();
                 }
                 Coherence::Shared(set) => {
                     for &holder in set {
                         self.recall(holder, RecallRequest::Reclaim { seg, page })?;
-                        self.invalidations.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.invalidations.inc();
                     }
                 }
                 Coherence::Idle => {}
             }
             let segment = self.store.get(seg)?;
             let version = segment.write().write_page(page, data)?;
-            self.write_backs.fetch_add(1, Ordering::Relaxed);
+            self.metrics.write_backs.inc();
             Ok(version)
         })();
         // On an aborted recall, keep the pre-transition copyset: copies
@@ -259,7 +288,7 @@ impl DsmServer {
                 Err(e) => DsmReply::Err(e.into()),
             },
             DsmRequest::FetchPage { seg, page, mode } => {
-                self.fetch_rpcs.fetch_add(1, Ordering::Relaxed);
+                self.metrics.fetch_rpcs.inc();
                 self.fetch(src, seg, page, mode)
             }
             DsmRequest::FetchPages {
@@ -268,8 +297,8 @@ impl DsmServer {
                 count,
                 mode,
             } => {
-                self.fetch_rpcs.fetch_add(1, Ordering::Relaxed);
-                self.batch_fetches.fetch_add(1, Ordering::Relaxed);
+                self.metrics.fetch_rpcs.inc();
+                self.metrics.batch_fetches.inc();
                 self.fetch_pages(src, seg, first, count, mode)
             }
             DsmRequest::WriteBack {
@@ -331,7 +360,7 @@ impl DsmServer {
                     Some((_, _, deadline)) if Instant::now() >= deadline => {
                         // Grantee never confirmed: assume it crashed with
                         // the grant in flight; its copy is gone.
-                        self.ack_timeouts.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.ack_timeouts.inc();
                         entry.awaiting_ack = None;
                         entry.busy = true;
                         return entry.state.clone();
@@ -398,6 +427,8 @@ impl DsmServer {
         if let Err(e) = self.store.get(seg) {
             return DsmReply::Err(e.into());
         }
+        let mut span = self.obs.span("dsm.server", "serve_fetch");
+        span.set_args(format!("src={} seg={seg} page={page} mode={mode:?}", src.0));
         let key = (seg, page);
         let state = self.begin_transition(key);
 
@@ -406,11 +437,11 @@ impl DsmServer {
                 match self.recall(owner, RecallRequest::Downgrade { seg, page }) {
                     Ok(RecallReply::Dirty(data)) => {
                         self.apply_write_back(seg, page, &data);
-                        self.downgrades.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.downgrades.inc();
                         Coherence::Shared(HashSet::from([owner, src]))
                     }
                     Ok(RecallReply::Clean) => {
-                        self.downgrades.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.downgrades.inc();
                         Coherence::Shared(HashSet::from([owner, src]))
                     }
                     Ok(RecallReply::NotPresent) => Coherence::Shared(HashSet::from([src])),
@@ -434,10 +465,10 @@ impl DsmServer {
                 match self.recall(owner, RecallRequest::Reclaim { seg, page }) {
                     Ok(RecallReply::Dirty(data)) => {
                         self.apply_write_back(seg, page, &data);
-                        self.invalidations.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.invalidations.inc();
                     }
                     Ok(RecallReply::Clean) => {
-                        self.invalidations.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.invalidations.inc();
                     }
                     Ok(RecallReply::NotPresent) => {}
                     Err(e) => {
@@ -458,10 +489,10 @@ impl DsmServer {
                             // Shared copies are clean by protocol, but be
                             // liberal in what we accept.
                             self.apply_write_back(seg, page, &data);
-                            self.invalidations.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.invalidations.inc();
                         }
                         Ok(RecallReply::Clean) => {
-                            self.invalidations.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.invalidations.inc();
                         }
                         Ok(RecallReply::NotPresent) => {}
                         Err(e) => {
@@ -482,8 +513,8 @@ impl DsmServer {
         let grant = match self.read_canonical(seg, page, grant_seq) {
             Ok(grant) => {
                 match mode {
-                    WireMode::Read => self.read_grants.fetch_add(1, Ordering::Relaxed),
-                    WireMode::Write => self.write_grants.fetch_add(1, Ordering::Relaxed),
+                    WireMode::Read => self.metrics.read_grants.inc(),
+                    WireMode::Write => self.metrics.write_grants.inc(),
                 };
                 grant
             }
@@ -540,8 +571,9 @@ impl DsmServer {
                 None => break,
             }
         }
-        self.prefetch_pages_granted
-            .fetch_add(pages.len() as u64 - 1, Ordering::Relaxed);
+        self.metrics
+            .prefetch_pages_granted
+            .add(pages.len() as u64 - 1);
         DsmReply::Pages { first, pages }
     }
 
@@ -583,7 +615,7 @@ impl DsmServer {
         let grant_seq = self.grant_seq.fetch_add(1, Ordering::Relaxed);
         match self.read_canonical(seg, page, grant_seq) {
             Ok(grant) => {
-                self.read_grants.fetch_add(1, Ordering::Relaxed);
+                self.metrics.read_grants.inc();
                 let new_state = match prior {
                     Coherence::Shared(mut set) => {
                         set.insert(src);
@@ -629,6 +661,15 @@ impl DsmServer {
     /// holder, so the transition must abort rather than forget a live
     /// copy and leak it stale.
     fn recall(&self, holder: NodeId, req: RecallRequest) -> clouds_ra::Result<RecallReply> {
+        let (kind, seg, page) = match &req {
+            RecallRequest::Downgrade { seg, page } => ("downgrade", *seg, *page),
+            RecallRequest::Reclaim { seg, page } => ("reclaim", *seg, *page),
+        };
+        self.obs.instant(
+            "dsm.server",
+            "recall",
+            format!("dst={} kind={kind} seg={seg} page={page}", holder.0),
+        );
         match self.ratp.call_with_budget(
             holder,
             ports::DSM_CLIENT,
@@ -648,7 +689,7 @@ impl DsmServer {
     fn apply_write_back(&self, seg: SysName, page: u32, data: &[u8]) {
         if let Ok(segment) = self.store.get(seg) {
             if segment.write().write_page(page, data).is_ok() {
-                self.write_backs.fetch_add(1, Ordering::Relaxed);
+                self.metrics.write_backs.inc();
             }
         }
     }
@@ -668,7 +709,7 @@ impl DsmServer {
                 if let Err(e) = segment.write().write_page(page, data) {
                     return DsmReply::Err(e.into());
                 }
-                self.write_backs.fetch_add(1, Ordering::Relaxed);
+                self.metrics.write_backs.inc();
             }
             Err(e) => return DsmReply::Err(e.into()),
         }
@@ -683,13 +724,18 @@ impl DsmServer {
     /// [`DsmServer::write_back`], this deliberately does not take busy
     /// flags — see the module docs on deadlock freedom.
     fn write_back_batch(&self, pages: &[WireWriteBack]) -> DsmReply {
-        self.batch_write_backs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.batch_write_backs.inc();
+        self.obs.instant(
+            "dsm.server",
+            "write_back_batch",
+            format!("pages={}", pages.len()),
+        );
         let results = pages
             .iter()
             .map(|p| match self.store.get(p.seg) {
                 Ok(segment) => match segment.write().write_page(p.page, &p.data) {
                     Ok(version) => {
-                        self.write_backs.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.write_backs.inc();
                         Ok(version)
                     }
                     Err(e) => Err(e.into()),
@@ -733,7 +779,7 @@ mod tests {
         (net, server, client)
     }
 
-    fn call(client: &RatpNode, req: &DsmRequest) -> DsmReply {
+    fn call(client: &Arc<RatpNode>, req: &DsmRequest) -> DsmReply {
         let reply = client
             .call(NodeId(10), ports::DSM_SERVER, proto::encode(req))
             .unwrap();

@@ -366,7 +366,7 @@ fn writer_vs_sequential_scanner_stays_coherent() {
 
 /// Raw-wire helper: a client that installs nothing but acks every grant,
 /// so directory transitions never stall on it.
-fn ack_all(client: &RatpNode, server: NodeId, s: SysName, grants: &[(u32, u64)]) {
+fn ack_all(client: &Arc<RatpNode>, server: NodeId, s: SysName, grants: &[(u32, u64)]) {
     let acks: Vec<WireInstallAck> = grants
         .iter()
         .map(|&(page, grant_seq)| WireInstallAck {
@@ -388,7 +388,7 @@ fn ack_all(client: &RatpNode, server: NodeId, s: SysName, grants: &[(u32, u64)])
     ));
 }
 
-fn wire_call(client: &RatpNode, server: NodeId, req: &DsmRequest) -> DsmReply {
+fn wire_call(client: &Arc<RatpNode>, server: NodeId, req: &DsmRequest) -> DsmReply {
     let reply = client
         .call(server, ports::DSM_SERVER, proto::encode(req))
         .unwrap();

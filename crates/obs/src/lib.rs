@@ -1,0 +1,837 @@
+//! `clouds-obs` — virtual-time observability for the Clouds reproduction.
+//!
+//! The paper evaluates Clouds by instrumenting the invocation, paging and
+//! commit paths and reporting per-layer costs (§4.3). This crate is the
+//! shared substrate for that instrumentation: a structured event layer
+//! (spans + instants) and a metrics registry (counters + latency
+//! histograms), both stamped with **virtual time** from the node's
+//! [`VirtualClock`] rather than wall time.
+//!
+//! Because every timestamp is virtual, two runs of the same seeded
+//! workload produce the *same* event stream — the property the chaos
+//! harness asserts as a determinism invariant (see
+//! [`TraceSink::canonical_jsonl`]).
+//!
+//! Pieces:
+//!
+//! * [`TraceSink`] — a bounded ring buffer of [`TraceEvent`]s shared by
+//!   every node of a cluster; serializes to JSONL (one event per line)
+//!   and to the Chrome `trace_event` timeline format
+//!   (`chrome://tracing` / Perfetto).
+//! * [`MetricsRegistry`] — named [`Counter`]s and log₂-bucketed
+//!   [`Histogram`]s of virtual-time durations, with a deterministic
+//!   [`MetricsRegistry::snapshot`].
+//! * [`NodeObs`] — the per-node handle bundling node id, clock,
+//!   registry and sink; layers call [`NodeObs::instant`] /
+//!   [`NodeObs::span`] and cache [`Counter`] handles at construction.
+//!
+//! No external dependencies and no wall-clock reads: the crate is pure
+//! bookkeeping over `clouds-simnet`'s virtual time.
+
+use clouds_simnet::{VirtualClock, Vt};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default ring capacity of a [`TraceSink`] (events, not bytes).
+pub const DEFAULT_SINK_CAPACITY: usize = 1 << 16;
+
+// ---------------------------------------------------------------------------
+// Trace events
+// ---------------------------------------------------------------------------
+
+/// One structured event: an instant (`dur == None`) or a completed span.
+///
+/// `layer` and `name` are static identifiers (`"dsm.client"`,
+/// `"fetch_pages"`); `args` is a short preformatted `key=value` detail
+/// string. Everything in an event must be derived from virtual time and
+/// protocol state — never from wall clocks or addresses — so that
+/// same-seed runs serialize byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual timestamp (span start for spans).
+    pub ts: Vt,
+    /// Span duration; `None` for instant events.
+    pub dur: Option<Vt>,
+    /// Simulated node the event happened on.
+    pub node: u64,
+    /// Subsystem: `sched`, `ratp`, `dsm.client`, `dsm.server`, `2pc`,
+    /// `pet`, `invoke`.
+    pub layer: &'static str,
+    /// Event name within the layer.
+    pub name: &'static str,
+    /// Short `key=value` detail string (may be empty).
+    pub args: String,
+}
+
+impl TraceEvent {
+    /// Total order used for canonical serialization: `(ts, node, layer,
+    /// name, args, dur)`. Thread interleaving may vary the *record*
+    /// order between runs, but if the event set and virtual timestamps
+    /// are deterministic, the canonical order is too.
+    fn canonical_key(&self) -> (u64, u64, &'static str, &'static str, &str, u64) {
+        (
+            self.ts.as_nanos(),
+            self.node,
+            self.layer,
+            self.name,
+            &self.args,
+            self.dur.map_or(0, Vt::as_nanos),
+        )
+    }
+
+    /// One JSON object, fixed key order, no whitespace.
+    fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"ts\":{}", self.ts.as_nanos());
+        if let Some(d) = self.dur {
+            let _ = write!(s, ",\"dur\":{}", d.as_nanos());
+        }
+        let _ = write!(
+            s,
+            ",\"node\":{},\"layer\":\"{}\",\"name\":\"{}\",\"args\":\"{}\"}}",
+            self.node,
+            escape(self.layer),
+            escape(self.name),
+            escape(&self.args)
+        );
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Bounded ring buffer of trace events, shared by all nodes of a
+/// cluster. When full, the **oldest** event is dropped (and counted) so
+/// the tail of the timeline survives; size the capacity to the workload
+/// when full streams matter (the determinism tests do).
+pub struct TraceSink {
+    inner: Mutex<std::collections::VecDeque<TraceEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl TraceSink {
+    /// A sink holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (use a tiny sink to effectively
+    /// disable retention, but the ring must exist).
+    pub fn new(capacity: usize) -> TraceSink {
+        assert!(capacity > 0, "trace sink needs at least one slot");
+        TraceSink {
+            inner: Mutex::new(std::collections::VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn record(&self, ev: TraceEvent) {
+        let mut ring = self.inner.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the retained events in record order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.lock().iter().cloned().collect()
+    }
+
+    /// Retained events in canonical order: sorted by
+    /// `(ts, node, layer, name, args, dur)`. Record order depends on OS
+    /// thread interleaving; canonical order does not.
+    pub fn canonical(&self) -> Vec<TraceEvent> {
+        let mut events = self.snapshot();
+        events.sort_by(|a, b| a.canonical_key().cmp(&b.canonical_key()));
+        events
+    }
+
+    /// Canonical JSONL: one event per line, fixed key order — the
+    /// byte-comparable form the determinism invariant checks.
+    pub fn canonical_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.canonical() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON (load in `chrome://tracing` or
+    /// [ui.perfetto.dev](https://ui.perfetto.dev)): spans become `"X"`
+    /// (complete) events, instants become `"i"`; `pid` is the simulated
+    /// node, `tid` the layer, timestamps are virtual microseconds.
+    pub fn chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let events = self.canonical();
+        for (i, ev) in events.iter().enumerate() {
+            let ts_us = ev.ts.as_nanos() as f64 / 1_000.0;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{:.3},",
+                escape(ev.name),
+                escape(ev.layer),
+                if ev.dur.is_some() { "X" } else { "i" },
+                ts_us
+            );
+            if let Some(d) = ev.dur {
+                let _ = write!(out, "\"dur\":{:.3},", d.as_nanos() as f64 / 1_000.0);
+            } else {
+                out.push_str("\"s\":\"t\",");
+            }
+            let _ = write!(
+                out,
+                "\"pid\":{},\"tid\":\"{}\",\"args\":{{\"detail\":\"{}\"}}}}",
+                ev.node,
+                escape(ev.layer),
+                escape(&ev.args)
+            );
+            out.push_str(if i + 1 == events.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Write the trace to `path`: Chrome format when the extension is
+    /// `.json`, canonical JSONL otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to_path(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let body = if path.extension().is_some_and(|e| e == "json") {
+            self.chrome_trace()
+        } else {
+            self.canonical_jsonl()
+        };
+        std::fs::write(path, body)
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> TraceSink {
+        TraceSink::new(DEFAULT_SINK_CAPACITY)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter. Handles are cheap `Arc`s; hot
+/// paths cache them at construction instead of re-resolving by name.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets in a [`Histogram`] (covers the full `u64`
+/// nanosecond range).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Lock-free histogram of virtual-time durations in log₂ buckets:
+/// bucket `k` counts durations `d` with `2^k ≤ d.as_nanos() < 2^(k+1)`
+/// (bucket 0 also counts zero and one). Quantiles are bucket upper
+/// bounds — ~2× resolution, plenty for per-layer latency breakdowns.
+pub struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.summary();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("mean", &s.mean())
+            .field("p99", &s.p99)
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (64 - ns.leading_zeros()) as usize - 1
+    }
+}
+
+impl Histogram {
+    /// Record one duration.
+    pub fn record(&self, d: Vt) {
+        let ns = d.as_nanos();
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary. Under concurrent writers each field is
+    /// individually atomic; the summary is consistent once writers have
+    /// quiesced (every recorded value appears in exactly one bucket and
+    /// once in count/sum).
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> Vt {
+            if count == 0 {
+                return Vt::ZERO;
+            }
+            let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (k, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    // Exclusive upper bound of bucket k, saturating at
+                    // the top bucket.
+                    return Vt::from_nanos(if k >= 63 { u64::MAX } else { 1u64 << (k + 1) });
+                }
+            }
+            Vt::from_nanos(u64::MAX)
+        };
+        let min = self.min_ns.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum: Vt::from_nanos(self.sum_ns.load(Ordering::Relaxed)),
+            min: if min == u64::MAX { Vt::ZERO } else { Vt::from_nanos(min) },
+            max: Vt::from_nanos(self.max_ns.load(Ordering::Relaxed)),
+            p50: quantile(0.50),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Snapshot of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: Vt,
+    /// Smallest sample ([`Vt::ZERO`] when empty).
+    pub min: Vt,
+    /// Largest sample.
+    pub max: Vt,
+    /// Median (bucket upper bound).
+    pub p50: Vt,
+    /// 99th percentile (bucket upper bound).
+    pub p99: Vt,
+}
+
+impl HistogramSummary {
+    /// Mean sample value ([`Vt::ZERO`] when empty).
+    pub fn mean(&self) -> Vt {
+        if self.count == 0 {
+            Vt::ZERO
+        } else {
+            Vt::from_nanos(self.sum.as_nanos() / self.count)
+        }
+    }
+}
+
+/// Named counters and histograms for one node. Lookup by name is
+/// mutex-guarded (cold); returned handles are lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Deterministically ordered dump of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, summary)` sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Current value of counter `name` (0 if never created).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).map_or(0, |c| c.get())
+    }
+
+    /// Summary of histogram `name` (empty summary if never created).
+    pub fn histogram_summary(&self, name: &str) -> HistogramSummary {
+        self.histograms
+            .lock()
+            .get(name)
+            .map(|h| h.summary())
+            .unwrap_or(HistogramSummary {
+                count: 0,
+                sum: Vt::ZERO,
+                min: Vt::ZERO,
+                max: Vt::ZERO,
+                p50: Vt::ZERO,
+                p99: Vt::ZERO,
+            })
+    }
+
+    /// Name-sorted snapshot of everything registered.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-node handle
+// ---------------------------------------------------------------------------
+
+/// The per-node observability handle: node id + virtual clock +
+/// [`MetricsRegistry`] + shared [`TraceSink`]. Every instrumented layer
+/// reaches its `NodeObs` through the transport node it already holds.
+pub struct NodeObs {
+    node: u64,
+    clock: Arc<VirtualClock>,
+    registry: Arc<MetricsRegistry>,
+    sink: Arc<TraceSink>,
+}
+
+impl std::fmt::Debug for NodeObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeObs").field("node", &self.node).finish()
+    }
+}
+
+impl NodeObs {
+    /// A handle with an explicit registry and (cluster-shared) sink.
+    pub fn new(
+        node: u64,
+        clock: Arc<VirtualClock>,
+        registry: Arc<MetricsRegistry>,
+        sink: Arc<TraceSink>,
+    ) -> Arc<NodeObs> {
+        Arc::new(NodeObs {
+            node,
+            clock,
+            registry,
+            sink,
+        })
+    }
+
+    /// A standalone handle with a fresh registry and private sink —
+    /// what a node constructed outside a cluster uses.
+    pub fn solo(node: u64, clock: Arc<VirtualClock>) -> Arc<NodeObs> {
+        NodeObs::new(
+            node,
+            clock,
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(TraceSink::default()),
+        )
+    }
+
+    /// Simulated node id.
+    pub fn node(&self) -> u64 {
+        self.node
+    }
+
+    /// The node's virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The node's metrics registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The trace sink events go to (shared across a cluster).
+    pub fn sink(&self) -> &Arc<TraceSink> {
+        &self.sink
+    }
+
+    /// Shorthand for [`MetricsRegistry::counter`].
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(name)
+    }
+
+    /// Shorthand for [`MetricsRegistry::histogram`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry.histogram(name)
+    }
+
+    /// Record an instant event at the current virtual time.
+    pub fn instant(&self, layer: &'static str, name: &'static str, args: String) {
+        self.sink.record(TraceEvent {
+            ts: self.clock.now(),
+            dur: None,
+            node: self.node,
+            layer,
+            name,
+            args,
+        });
+    }
+
+    /// Open a span starting at the current virtual time; it records on
+    /// [`Span::finish`] (or drop) with the elapsed virtual duration.
+    pub fn span(self: &Arc<Self>, layer: &'static str, name: &'static str) -> Span {
+        Span {
+            obs: Arc::clone(self),
+            layer,
+            name,
+            start: self.clock.now(),
+            args: String::new(),
+            histogram: None,
+            done: false,
+        }
+    }
+}
+
+/// An open span: records a completed [`TraceEvent`] (and optionally a
+/// [`Histogram`] sample) covering `start..now` when finished or dropped.
+pub struct Span {
+    obs: Arc<NodeObs>,
+    layer: &'static str,
+    name: &'static str,
+    start: Vt,
+    args: String,
+    histogram: Option<Arc<Histogram>>,
+    done: bool,
+}
+
+impl Span {
+    /// Attach a detail string (shown in `args`).
+    pub fn set_args(&mut self, args: String) {
+        self.args = args;
+    }
+
+    /// Also record the span's duration into `histogram` on finish.
+    pub fn with_histogram(mut self, histogram: Arc<Histogram>) -> Span {
+        self.histogram = Some(histogram);
+        self
+    }
+
+    /// Span start (virtual time).
+    pub fn start(&self) -> Vt {
+        self.start
+    }
+
+    fn record(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let end = self.obs.clock.now();
+        let dur = end.saturating_sub(self.start);
+        if let Some(h) = &self.histogram {
+            h.record(dur);
+        }
+        self.obs.sink.record(TraceEvent {
+            ts: self.start,
+            dur: Some(dur),
+            node: self.obs.node,
+            layer: self.layer,
+            name: self.name,
+            args: std::mem::take(&mut self.args),
+        });
+    }
+
+    /// Close the span now (idempotent; drop does the same).
+    pub fn finish(mut self) {
+        self.record();
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, node: u64, name: &'static str) -> TraceEvent {
+        TraceEvent {
+            ts: Vt::from_nanos(ts),
+            dur: None,
+            node,
+            layer: "test",
+            name,
+            args: String::new(),
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let sink = TraceSink::new(3);
+        for i in 0..5 {
+            sink.record(ev(i, 1, "e"));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        let kept: Vec<u64> = sink.snapshot().iter().map(|e| e.ts.as_nanos()).collect();
+        assert_eq!(kept, vec![2, 3, 4], "tail of the timeline survives");
+    }
+
+    #[test]
+    fn canonical_order_is_interleaving_independent() {
+        let a = TraceSink::new(16);
+        let b = TraceSink::new(16);
+        // Same event set, different record order.
+        let events = [ev(5, 2, "x"), ev(5, 1, "x"), ev(1, 9, "z"), ev(5, 1, "a")];
+        for e in &events {
+            a.record(e.clone());
+        }
+        for e in events.iter().rev() {
+            b.record(e.clone());
+        }
+        assert_ne!(a.snapshot(), b.snapshot());
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.canonical_jsonl(), b.canonical_jsonl());
+        // ts dominates, then node, then name.
+        let order: Vec<(u64, u64, &str)> = a
+            .canonical()
+            .iter()
+            .map(|e| (e.ts.as_nanos(), e.node, e.name))
+            .collect();
+        assert_eq!(order, vec![(1, 9, "z"), (5, 1, "a"), (5, 1, "x"), (5, 2, "x")]);
+    }
+
+    #[test]
+    fn jsonl_shape_and_escaping() {
+        let sink = TraceSink::new(4);
+        sink.record(TraceEvent {
+            ts: Vt::from_nanos(7),
+            dur: Some(Vt::from_nanos(3)),
+            node: 42,
+            layer: "dsm.client",
+            name: "fetch_pages",
+            args: "seg=\"s\"\n".to_string(),
+        });
+        let line = sink.canonical_jsonl();
+        assert_eq!(
+            line,
+            "{\"ts\":7,\"dur\":3,\"node\":42,\"layer\":\"dsm.client\",\"name\":\"fetch_pages\",\"args\":\"seg=\\\"s\\\"\\n\"}\n"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json_shape() {
+        let sink = TraceSink::new(4);
+        sink.record(ev(1_000, 1, "i"));
+        sink.record(TraceEvent {
+            ts: Vt::from_nanos(2_000),
+            dur: Some(Vt::from_nanos(500)),
+            node: 1,
+            layer: "test",
+            name: "s",
+            args: String::new(),
+        });
+        let body = sink.chrome_trace();
+        assert!(body.starts_with("{\"traceEvents\":["));
+        assert!(body.trim_end().ends_with("]}"));
+        assert!(body.contains("\"ph\":\"i\""));
+        assert!(body.contains("\"ph\":\"X\""));
+        assert!(body.contains("\"dur\":0.500"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+
+        let h = Histogram::default();
+        for us in [100u64, 200, 300, 400, 10_000] {
+            h.record(Vt::from_micros(us));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, Vt::from_micros(100));
+        assert_eq!(s.max, Vt::from_micros(10_000));
+        assert_eq!(s.mean(), Vt::from_micros(2200));
+        // p50 lands in the bucket holding 200µs and 300µs values.
+        assert!(s.p50 >= Vt::from_micros(200) && s.p50 <= Vt::from_micros(600));
+        assert!(s.p99 >= Vt::from_micros(10_000));
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter_value("x"), 3);
+        assert_eq!(reg.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn registry_snapshot_consistent_under_concurrent_writers() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("ops");
+                let h = reg.histogram("lat");
+                for i in 0..1000u64 {
+                    c.inc();
+                    h.record(Vt::from_nanos(t * 1000 + i));
+                    // Interleave snapshots with writes: must never panic
+                    // or observe impossible totals.
+                    if i % 100 == 0 {
+                        let snap = reg.snapshot();
+                        for (_, v) in &snap.counters {
+                            assert!(*v <= 8000);
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("ops".to_string(), 8000)]);
+        let (_, lat) = &snap.histograms[0];
+        assert_eq!(lat.count, 8000);
+        // Every sample landed in exactly one bucket.
+        let h = reg.histogram("lat");
+        let bucket_total: u64 = h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        assert_eq!(bucket_total, 8000);
+    }
+
+    #[test]
+    fn spans_record_virtual_durations() {
+        let clock = Arc::new(VirtualClock::new());
+        let obs = NodeObs::solo(7, Arc::clone(&clock));
+        let hist = obs.histogram("span.lat");
+        {
+            let mut span = obs.span("test", "work").with_histogram(Arc::clone(&hist));
+            span.set_args("k=1".to_string());
+            clock.charge(Vt::from_micros(250));
+            span.finish();
+        }
+        obs.instant("test", "tick", String::new());
+        let events = obs.sink().canonical();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "work");
+        assert_eq!(events[0].dur, Some(Vt::from_micros(250)));
+        assert_eq!(events[0].args, "k=1");
+        assert_eq!(events[1].name, "tick");
+        assert_eq!(events[1].ts, Vt::from_micros(250));
+        assert_eq!(hist.summary().count, 1);
+        assert_eq!(hist.summary().max, Vt::from_micros(250));
+    }
+}

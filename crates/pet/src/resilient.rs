@@ -101,6 +101,13 @@ pub fn resilient_invoke(
         .write_quorum
         .unwrap_or(robj.degree() / 2 + 1)
         .clamp(1, robj.degree());
+    let obs = Arc::clone(computes[0].ratp().obs());
+    let mut span = obs.span("pet", "resilient_invoke");
+    span.set_args(format!(
+        "pets={} degree={} quorum={quorum}",
+        opts.pets,
+        robj.degree()
+    ));
 
     // Phase 1: launch the PETs ("the separate threads run independently
     // as if there is no replication").
@@ -125,6 +132,11 @@ pub fn resilient_invoke(
                 .map(|bytes| (bytes, session.take_shadows()));
             session.discard_shadows();
             hooks.release_all(owner);
+            compute.ratp().obs().instant(
+                "pet",
+                "pet_run",
+                format!("pet={pet} replica={replica} ok={}", outcome.is_ok()),
+            );
             PetResult {
                 pet,
                 replica,
@@ -160,6 +172,11 @@ pub fn resilient_invoke(
     for (pet, replica, compute, bytes, shadows) in completed {
         match commit_to_quorum(&compute, robj, replica, &shadows, quorum) {
             Ok(committed_replicas) => {
+                obs.instant(
+                    "pet",
+                    "terminate",
+                    format!("pet={pet} replicas={}", committed_replicas.len()),
+                );
                 return Ok(PetOutcome {
                     result: bytes,
                     winner: pet,
@@ -225,6 +242,20 @@ fn commit_to_quorum(
             .ok()
             .and_then(|b| clouds_codec::from_bytes::<CommitReply>(&b).ok())
             == Some(CommitReply::Ok);
+        compute.ratp().obs().instant(
+            "pet",
+            "replica_vote",
+            format!("replica={target} accepted={applied}"),
+        );
+        compute
+            .ratp()
+            .obs()
+            .counter(if applied {
+                "pet.replica_accepts"
+            } else {
+                "pet.replica_rejects"
+            })
+            .inc();
         if applied {
             committed.push(target);
         }

@@ -14,12 +14,13 @@
 //! release the virtual CPU through [`IsiBaCtx::blocking`], just as the
 //! real kernel switched to another process during a fault.
 
+use clouds_obs::{Counter, NodeObs};
 use clouds_simnet::{VirtualClock, Vt};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of an IsiBa, unique within one node's scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -79,6 +80,14 @@ pub struct Scheduler {
     switch_cost: Vt,
     cpus: usize,
     next_id: AtomicU64,
+    obs: OnceLock<SchedObs>,
+}
+
+/// Observability wiring, installed once by cluster assembly
+/// ([`Scheduler::set_obs`]); absent for standalone schedulers.
+struct SchedObs {
+    obs: Arc<NodeObs>,
+    switches: Arc<Counter>,
 }
 
 impl fmt::Debug for Scheduler {
@@ -108,7 +117,30 @@ impl Scheduler {
             switch_cost,
             cpus,
             next_id: AtomicU64::new(1),
+            obs: OnceLock::new(),
         })
+    }
+
+    /// Route dispatch/block/wake events and the switch counter through
+    /// `obs` (idempotent; the first handle wins). Installed by the
+    /// compute-server boot path so scheduler events land on the same
+    /// timeline as the node's transport and paging events.
+    pub fn set_obs(&self, obs: Arc<NodeObs>) {
+        let switches = obs.counter("sched.switches");
+        let _ = self.obs.set(SchedObs { obs, switches });
+    }
+
+    /// Record a scheduling instant when observability is installed.
+    fn trace(&self, name: &'static str, id: IsiBaId) {
+        if let Some(o) = self.obs.get() {
+            o.obs.instant("sched", name, format!("isiba={}", id.0));
+        }
+    }
+
+    fn count_switch(&self) {
+        if let Some(o) = self.obs.get() {
+            o.switches.inc();
+        }
     }
 
     /// Create an IsiBa executing `f` once it is dispatched.
@@ -165,6 +197,7 @@ impl Scheduler {
         while inner.running.len() < self.cpus {
             let Some(next) = inner.ready.pop_front() else { break };
             inner.running.insert(next);
+            self.trace("dispatch", next);
             granted = true;
         }
         if granted {
@@ -185,6 +218,7 @@ impl Scheduler {
             inner.running.remove(&id);
             inner.ready.push_back(id);
             inner.switches += 1;
+            self.count_switch();
             self.dispatch(&mut inner);
             while !inner.running.contains(&id) {
                 self.cvar.wait(&mut inner);
@@ -201,6 +235,8 @@ impl Scheduler {
             inner.running.remove(&id);
             inner.blocked.insert(id);
             inner.switches += 1;
+            self.count_switch();
+            self.trace("block", id);
             self.dispatch(&mut inner);
             while !inner.running.contains(&id) {
                 self.cvar.wait(&mut inner);
@@ -213,6 +249,7 @@ impl Scheduler {
     pub fn wake(&self, id: IsiBaId) {
         let mut inner = self.inner.lock();
         if inner.blocked.remove(&id) {
+            self.trace("wake", id);
             inner.ready.push_back(id);
             self.dispatch(&mut inner);
         }
@@ -223,6 +260,7 @@ impl Scheduler {
         let mut inner = self.inner.lock();
         inner.running.remove(&id);
         inner.switches += 1;
+        self.count_switch();
         self.dispatch(&mut inner);
     }
 

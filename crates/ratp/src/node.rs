@@ -3,6 +3,7 @@
 
 use crate::packet::{fragment, Packet, PacketKind, Reassembly};
 use bytes::Bytes;
+use clouds_obs::{Counter, Histogram, NodeObs};
 use clouds_simnet::{Endpoint, NodeId, RecvError, SendError, VirtualClock};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -136,6 +137,34 @@ pub struct RatpNode {
     server: Mutex<ServerState>,
     txn_counter: AtomicU64,
     running: AtomicBool,
+    obs: Arc<NodeObs>,
+    metrics: RatpMetrics,
+}
+
+/// Registry-backed transport counters, cached at spawn so the hot path
+/// never resolves by name.
+struct RatpMetrics {
+    calls: Arc<Counter>,
+    retransmits: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    replies: Arc<Counter>,
+    replays: Arc<Counter>,
+    notifies: Arc<Counter>,
+    rtt: Arc<Histogram>,
+}
+
+impl RatpMetrics {
+    fn new(obs: &NodeObs) -> RatpMetrics {
+        RatpMetrics {
+            calls: obs.counter("ratp.calls"),
+            retransmits: obs.counter("ratp.retransmits"),
+            timeouts: obs.counter("ratp.timeouts"),
+            replies: obs.counter("ratp.replies"),
+            replays: obs.counter("ratp.reply_replays"),
+            notifies: obs.counter("ratp.notifies"),
+            rtt: obs.histogram("ratp.call"),
+        }
+    }
 }
 
 impl fmt::Debug for RatpNode {
@@ -148,8 +177,22 @@ impl fmt::Debug for RatpNode {
 }
 
 impl RatpNode {
-    /// Attach RaTP to an endpoint and start its receive loop.
+    /// Attach RaTP to an endpoint and start its receive loop, with a
+    /// standalone observability handle (private registry and sink).
     pub fn spawn(endpoint: Endpoint, config: RatpConfig) -> Arc<RatpNode> {
+        let obs = NodeObs::solo(endpoint.id().0 as u64, Arc::clone(endpoint.clock()));
+        RatpNode::spawn_with_obs(endpoint, config, obs)
+    }
+
+    /// [`RatpNode::spawn`] with an explicit [`NodeObs`] — cluster
+    /// assembly passes a handle whose [`clouds_obs::TraceSink`] is
+    /// shared by every node so traces interleave on one timeline.
+    pub fn spawn_with_obs(
+        endpoint: Endpoint,
+        config: RatpConfig,
+        obs: Arc<NodeObs>,
+    ) -> Arc<RatpNode> {
+        let metrics = RatpMetrics::new(&obs);
         let node = Arc::new(RatpNode {
             endpoint: Arc::new(endpoint),
             config,
@@ -158,6 +201,8 @@ impl RatpNode {
             server: Mutex::new(ServerState::default()),
             txn_counter: AtomicU64::new(1),
             running: AtomicBool::new(true),
+            obs,
+            metrics,
         });
         let weak: Weak<RatpNode> = Arc::downgrade(&node);
         std::thread::Builder::new()
@@ -175,6 +220,13 @@ impl RatpNode {
     /// This node's virtual clock.
     pub fn clock(&self) -> &Arc<VirtualClock> {
         self.endpoint.clock()
+    }
+
+    /// This node's observability handle. Layers built on top of a
+    /// `RatpNode` (DSM, consistency, PET, invocation) reach their
+    /// metrics registry and trace sink through it.
+    pub fn obs(&self) -> &Arc<NodeObs> {
+        &self.obs
     }
 
     /// Bind `service` to `port`, replacing any previous binding.
@@ -211,7 +263,7 @@ impl RatpNode {
     /// [`CallError::ServiceNotFound`] when the server has no handler on
     /// `port`, [`CallError::Send`] if the local node cannot transmit
     /// (e.g. it is crashed).
-    pub fn call(&self, dst: NodeId, port: u16, payload: Bytes) -> Result<Bytes, CallError> {
+    pub fn call(self: &Arc<Self>, dst: NodeId, port: u16, payload: Bytes) -> Result<Bytes, CallError> {
         self.call_with_budget(dst, port, payload, self.config.max_retries)
     }
 
@@ -219,8 +271,9 @@ impl RatpNode {
     /// wait for (or deliver) any reply. Used for acknowledgements where
     /// loss is tolerable because the receiver has a timeout fallback.
     pub fn notify(&self, dst: NodeId, port: u16, payload: Bytes) {
+        self.metrics.notifies.inc();
         let txn = self.next_txn();
-        for packet in fragment(PacketKind::Request, port, txn, payload) {
+        for packet in fragment(PacketKind::Notify, port, txn, payload) {
             self.endpoint.clock().charge(self.cost().transport_packet);
             let _ = self.endpoint.send(dst, packet.encode());
         }
@@ -232,12 +285,17 @@ impl RatpNode {
     ///
     /// As for [`RatpNode::call`].
     pub fn call_with_budget(
-        &self,
+        self: &Arc<Self>,
         dst: NodeId,
         port: u16,
         payload: Bytes,
         max_retries: u32,
     ) -> Result<Bytes, CallError> {
+        self.metrics.calls.inc();
+        let mut span = self
+            .obs
+            .span("ratp", "call")
+            .with_histogram(Arc::clone(&self.metrics.rtt));
         let txn = self.next_txn();
         let (reply_tx, reply_rx) = bounded(1);
         self.pending.lock().insert(
@@ -259,7 +317,19 @@ impl RatpNode {
             // giving up stays (max_retries + 1) × retry_interval.
             let mut remaining = max_retries as u64 + 1;
             let mut backoff: u64 = 1;
+            let mut first_attempt = true;
             while remaining > 0 {
+                if !first_attempt {
+                    // Wall-clock-triggered, so retransmit events only
+                    // appear under loss/partition faults or load.
+                    self.metrics.retransmits.inc();
+                    self.obs.instant(
+                        "ratp",
+                        "retransmit",
+                        format!("dst={} port={}", dst.0, port),
+                    );
+                }
+                first_attempt = false;
                 for frame in &frames {
                     // Transport-layer processing cost per transmitted packet.
                     self.endpoint
@@ -278,6 +348,16 @@ impl RatpNode {
             Err(CallError::TimedOut)
         })();
         self.pending.lock().remove(&txn);
+        if matches!(result, Err(CallError::TimedOut)) {
+            self.metrics.timeouts.inc();
+        }
+        span.set_args(format!(
+            "dst={} port={} ok={}",
+            dst.0,
+            port,
+            result.is_ok()
+        ));
+        span.finish();
         result
     }
 
@@ -304,6 +384,7 @@ fn receive_loop(weak: Weak<RatpNode>) {
                     node.endpoint.clock().charge(node.cost().transport_packet);
                     match pkt.kind {
                         PacketKind::Request => handle_request_fragment(&node, src, pkt),
+                        PacketKind::Notify => handle_notify_fragment(&node, src, pkt),
                         PacketKind::Reply | PacketKind::NoService => {
                             handle_reply_fragment(&node, pkt)
                         }
@@ -327,6 +408,7 @@ fn handle_request_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
             // Already answered: replay the cached reply.
             let frames = Arc::clone(reply_frames);
             drop(server);
+            node.metrics.replays.inc();
             for frame in frames.iter() {
                 node.endpoint.clock().charge(node.cost().transport_packet);
                 let _ = node.endpoint.send(src, frame.clone());
@@ -374,6 +456,41 @@ fn handle_request_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
     }
 }
 
+/// Deliver a one-way notification: reassemble, hand the message to the
+/// service, produce nothing. No duplicate cache, no `executing` entry,
+/// no reply — the sender transmitted once and is not listening.
+fn handle_notify_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
+    let key = (src, pkt.txn);
+    let port = pkt.port;
+    let complete = {
+        let mut server = node.server.lock();
+        let reassembly = server
+            .inflight
+            .entry(key)
+            .or_insert_with(|| Reassembly::new(pkt.frag_count));
+        let complete = reassembly.insert(pkt);
+        if complete.is_some() {
+            server.inflight.remove(&key);
+        }
+        complete
+    };
+    let Some(message) = complete else { return };
+    let Some(service) = node.services.read().get(&port).cloned() else {
+        return;
+    };
+    let node = Arc::clone(node);
+    std::thread::Builder::new()
+        .name(format!("ratp-notify-{}-p{port}", node.endpoint.id()))
+        .spawn(move || {
+            let _ = service.handle(Request {
+                src,
+                payload: message,
+            });
+            let _ = node; // keep the node alive while the handler runs
+        })
+        .expect("spawn ratp notify handler thread");
+}
+
 fn encode_reply(kind: PacketKind, port: u16, txn: u64, reply: Bytes) -> Arc<Vec<Bytes>> {
     Arc::new(
         fragment(kind, port, txn, reply)
@@ -384,6 +501,7 @@ fn encode_reply(kind: PacketKind, port: u16, txn: u64, reply: Bytes) -> Arc<Vec<
 }
 
 fn finish_transaction(node: &Arc<RatpNode>, key: (NodeId, u64), frames: Arc<Vec<Bytes>>) {
+    node.metrics.replies.inc();
     {
         let mut server = node.server.lock();
         server.executing.remove(&key);

@@ -48,6 +48,11 @@ pub enum PacketKind {
     Reply = 2,
     /// Negative reply: no service is registered on the requested port.
     NoService = 3,
+    /// Fragment of a one-way notification: delivered to the service but
+    /// never answered. Acks use this so a fire-and-forget message costs
+    /// exactly its own transmission — a `Request` would make the
+    /// receiver synthesize, send and bill a reply nobody is waiting for.
+    Notify = 4,
 }
 
 impl PacketKind {
@@ -56,6 +61,7 @@ impl PacketKind {
             1 => Some(PacketKind::Request),
             2 => Some(PacketKind::Reply),
             3 => Some(PacketKind::NoService),
+            4 => Some(PacketKind::Notify),
             _ => None,
         }
     }
