@@ -1,0 +1,123 @@
+//! Performance regression gate over the criterion-shim JSON emitted by
+//! `CRITERION_JSON=… cargo bench -p clouds-bench --bench dsm`:
+//!
+//! ```text
+//! cargo run -p clouds-bench --bin bench_gate -- BENCH_dsm.json fresh.json
+//! ```
+//!
+//! Compares the gated benchmarks' `min_ns` (minimum is the stablest
+//! statistic under CI noise; the harness runs in virtual time, so it is
+//! deterministic for a fixed seed anyway) in `fresh` against the
+//! committed `baseline` and fails when any regresses by more than 15%.
+//! Improvements and non-gated benches are reported but never fail.
+
+use std::process::ExitCode;
+
+/// Benchmarks that gate the build: the two paging paths the batched DSM
+/// protocol exists for.
+const GATED: &[&str] = &["sequential_scan_1mb", "commit_flush_32_dirty"];
+
+/// Allowed slowdown of `min_ns` vs the baseline.
+const TOLERANCE: f64 = 0.15;
+
+/// Pull `"key":<digits>` out of one shim JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Pull `"key":"<value>"` out of one shim JSON line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// `bench name → min_ns` for every line of a shim JSON file.
+fn load(path: &str) -> Result<Vec<(String, u64)>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bench = field_str(line, "bench")
+            .ok_or_else(|| format!("{path}:{}: no \"bench\" field", i + 1))?;
+        let min_ns = field_u64(line, "min_ns")
+            .ok_or_else(|| format!("{path}:{}: no \"min_ns\" field", i + 1))?;
+        out.push((bench.to_string(), min_ns));
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no benchmark records"));
+    }
+    Ok(out)
+}
+
+fn run(baseline_path: &str, fresh_path: &str) -> Result<bool, String> {
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    let base_of = |name: &str| baseline.iter().find(|(b, _)| b == name).map(|(_, v)| *v);
+    let mut ok = true;
+    for (bench, fresh_min) in &fresh {
+        let gated = GATED.contains(&bench.as_str());
+        match base_of(bench) {
+            Some(base_min) => {
+                let ratio = *fresh_min as f64 / base_min.max(1) as f64;
+                let verdict = if ratio > 1.0 + TOLERANCE && gated {
+                    ok = false;
+                    "REGRESSED"
+                } else if ratio > 1.0 + TOLERANCE {
+                    "slower (not gated)"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{:<24} base {:>12} ns  fresh {:>12} ns  {:>+7.1}%  {}{}",
+                    bench,
+                    base_min,
+                    fresh_min,
+                    (ratio - 1.0) * 100.0,
+                    verdict,
+                    if gated { "  [gated]" } else { "" },
+                );
+            }
+            None => println!("{bench:<24} (no baseline — skipped)"),
+        }
+    }
+    for name in GATED {
+        if !fresh.iter().any(|(b, _)| b == name) {
+            return Err(format!("gated benchmark `{name}` missing from {fresh_path}"));
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline, fresh] = args.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    match run(baseline, fresh) {
+        Ok(true) => {
+            println!("bench_gate: within {:.0}% of baseline", TOLERANCE * 100.0);
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!(
+                "bench_gate: gated benchmark regressed more than {:.0}% — \
+                 investigate, or re-bless BENCH_dsm.json if intentional",
+                TOLERANCE * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,7 +10,8 @@
 
 use clouds_bench::report::{ms, print_table, Row};
 use clouds_bench::{
-    consistency_exp, invocation_exp, kernel_exp, network_exp, paging_exp, pet_exp, sort_exp,
+    causal_exp, consistency_exp, invocation_exp, kernel_exp, network_exp, paging_exp, pet_exp,
+    sort_exp,
 };
 
 fn main() {
@@ -259,6 +260,38 @@ fn main() {
                 "scan − fetch: MMU hits + the reads",
             ),
         ],
+    );
+
+    // E9 — causal critical path: where the virtual time of one remote
+    // invocation actually lives, exclusive of children, derived from
+    // the cross-node trace tree rather than per-layer histograms.
+    let c = causal_exp::run();
+    let mut rows = vec![Row::new(
+        "invocation critical path (root)",
+        "—",
+        ms(c.root_dur),
+        format!(
+            "{} steps, {} nodes, {} traces / {} spans in run",
+            c.path.len(),
+            c.trace_nodes,
+            c.traces,
+            c.spans
+        ),
+    )];
+    rows.extend(c.layer_self.iter().map(|(layer, self_ns)| {
+        Row::new(
+            format!("  self time in {layer}"),
+            "—",
+            ms(clouds_simnet::Vt::from_nanos(*self_ns)),
+            format!(
+                "{:.0}% of critical path",
+                100.0 * *self_ns as f64 / c.root_dur.as_nanos().max(1) as f64
+            ),
+        )
+    }));
+    print_table(
+        "E9  Causal critical path of a remote invocation (clouds-obs traces)",
+        &rows,
     );
 
     println!();

@@ -5,133 +5,27 @@
 //! ```
 //!
 //! Checks every line against the canonical schema
-//! `{"ts":N[,"dur":N],"node":N,"layer":"…","name":"…","args":"…"}`,
-//! that timestamps are non-decreasing (canonical order), and prints a
-//! per-layer event census. Exits non-zero on the first malformed line —
-//! CI runs this after a traced example to pin the wire format.
+//! `{"ts":N[,"dur":N],"node":N,"layer":"…","name":"…"[,"trace":T,
+//! "span":S,"parent":P],"args":"…"}` (strict key order — the
+//! determinism invariant compares these bytes), that timestamps are
+//! non-decreasing (canonical order), and that the causal edges are
+//! sound: every `parent` resolves within its trace, no span id is
+//! duplicated, no parent chain cycles, and same-node child spans nest
+//! inside their parent's interval. Prints a per-layer census and exits
+//! non-zero on any malformed line or causal defect — CI runs this after
+//! a traced example to pin both the wire format and the causality.
 
+use clouds_obs::causal::{build_forest, parse_jsonl};
 use std::process::ExitCode;
-
-/// One parsed event line (only what validation needs).
-struct Line {
-    ts: u64,
-    has_dur: bool,
-    layer: String,
-}
-
-/// Cursor over one line's bytes; every helper consumes an exact token.
-struct Cursor<'a> {
-    s: &'a str,
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn expect(&mut self, tok: &str) -> Result<(), String> {
-        if self.s[self.pos..].starts_with(tok) {
-            self.pos += tok.len();
-            Ok(())
-        } else {
-            Err(format!(
-                "expected `{tok}` at byte {}, found `{}`",
-                self.pos,
-                &self.s[self.pos..self.s.len().min(self.pos + 16)]
-            ))
-        }
-    }
-
-    fn number(&mut self) -> Result<u64, String> {
-        let start = self.pos;
-        while self.s.as_bytes().get(self.pos).is_some_and(u8::is_ascii_digit) {
-            self.pos += 1;
-        }
-        self.s[start..self.pos]
-            .parse()
-            .map_err(|_| format!("expected a number at byte {start}"))
-    }
-
-    /// A JSON string body up to the closing quote, honouring escapes.
-    fn string(&mut self) -> Result<String, String> {
-        self.expect("\"")?;
-        let mut out = String::new();
-        let bytes = self.s.as_bytes();
-        while let Some(&b) = bytes.get(self.pos) {
-            match b {
-                b'"' => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                b'\\' => {
-                    let esc = bytes.get(self.pos + 1).copied();
-                    match esc {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'u') => {
-                            // \u00XX control-char escape.
-                            let hex = self
-                                .s
-                                .get(self.pos + 2..self.pos + 6)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                            self.pos += 4;
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
-                    }
-                    self.pos += 2;
-                }
-                _ => {
-                    let c = self.s[self.pos..].chars().next().ok_or("truncated line")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-        Err("unterminated string".to_string())
-    }
-}
-
-/// Parse one canonical event line, enforcing the exact key order the
-/// sink emits (the determinism invariant compares these bytes, so the
-/// validator must be just as strict).
-fn parse_line(s: &str) -> Result<Line, String> {
-    let mut c = Cursor { s, pos: 0 };
-    c.expect("{\"ts\":")?;
-    let ts = c.number()?;
-    let has_dur = s[c.pos..].starts_with(",\"dur\":");
-    if has_dur {
-        c.expect(",\"dur\":")?;
-        c.number()?;
-    }
-    c.expect(",\"node\":")?;
-    c.number()?;
-    c.expect(",\"layer\":")?;
-    let layer = c.string()?;
-    c.expect(",\"name\":")?;
-    let name = c.string()?;
-    c.expect(",\"args\":")?;
-    c.string()?;
-    c.expect("}")?;
-    if c.pos != s.len() {
-        return Err(format!("trailing bytes after event at byte {}", c.pos));
-    }
-    if layer.is_empty() || name.is_empty() {
-        return Err("layer and name must be non-empty".to_string());
-    }
-    Ok(Line { ts, has_dur, layer })
-}
 
 fn run(path: &str) -> Result<(), String> {
     let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let mut events = 0u64;
-    let mut spans = 0u64;
+    let events = parse_jsonl(&body).map_err(|e| format!("{path}: {e}"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: no events — the traced run recorded nothing"));
+    }
     let mut last_ts = 0u64;
-    let mut layers: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
-    for (i, line) in body.lines().enumerate() {
-        let ev = parse_line(line).map_err(|e| format!("{path}:{}: {e}\n  {line}", i + 1))?;
+    for (i, ev) in events.iter().enumerate() {
         if ev.ts < last_ts {
             return Err(format!(
                 "{path}:{}: timestamps regress ({} after {last_ts}) — not in canonical order",
@@ -140,16 +34,43 @@ fn run(path: &str) -> Result<(), String> {
             ));
         }
         last_ts = ev.ts;
-        events += 1;
-        spans += u64::from(ev.has_dur);
-        *layers.entry(ev.layer).or_default() += 1;
     }
-    if events == 0 {
-        return Err(format!("{path}: no events — the traced run recorded nothing"));
+
+    let (forest, report) = build_forest(&events);
+    if !report.is_clean() {
+        return Err(format!(
+            "{path}: causal defects ({} orphan(s), {} duplicate(s), {} cycle(s), {} nesting violation(s)):\n{}",
+            report.orphans.len(),
+            report.duplicates.len(),
+            report.cycles.len(),
+            report.nesting.len(),
+            report.findings().join("\n")
+        ));
     }
-    println!("{path}: OK — {events} events ({spans} spans, {} instants)", events - spans);
+
+    let spans = events.iter().filter(|e| e.is_span()).count();
+    println!(
+        "{path}: OK — {} events ({spans} spans, {} instants); {} trace(s), {} untraced event(s), 0 orphans, 0 cycles",
+        events.len(),
+        events.len() - spans,
+        forest.trees.len(),
+        forest.untraced,
+    );
+    let mut layers: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for ev in &events {
+        *layers.entry(ev.layer.as_str()).or_default() += 1;
+    }
     for (layer, n) in layers {
         println!("  {layer:<12} {n}");
+    }
+    for tree in forest.trees.values() {
+        println!(
+            "  trace {:#018x}: {} span(s) over {} node(s), {} root(s)",
+            tree.trace_id,
+            tree.spans.len(),
+            tree.nodes().len(),
+            tree.roots.len()
+        );
     }
     Ok(())
 }

@@ -1,0 +1,140 @@
+//! E9 — causal critical path of a remote invocation.
+//!
+//! Runs the quickstart-shaped workload (workstation → compute server →
+//! data server) on a fault-free cluster with tracing on, reconstructs
+//! the cross-node trace forest with [`clouds_obs::causal`], and reports
+//! the critical path of the longest invocation-rooted trace: which
+//! layer the virtual time actually lives in, *exclusive* of children —
+//! the paper's per-layer cost intuition (§4.3) derived from causality
+//! rather than from per-layer histograms (E8).
+
+use clouds::prelude::*;
+use clouds::{decode_args, encode_result};
+use clouds_obs::causal::{build_forest, parse_jsonl, PathStep, TraceTree};
+use clouds_simnet::Vt;
+use std::collections::BTreeMap;
+
+/// What E9 reports.
+#[derive(Debug)]
+pub struct CausalBreakdown {
+    /// Distinct traces reconstructed from the run.
+    pub traces: usize,
+    /// Spans across all traces.
+    pub spans: usize,
+    /// Nodes the chosen trace touches.
+    pub trace_nodes: usize,
+    /// Duration of the chosen trace's root span.
+    pub root_dur: Vt,
+    /// The chosen trace's critical path, root first.
+    pub path: Vec<PathStep>,
+    /// Per-layer self time along the critical path (exclusive of
+    /// children), summing to `root_dur`.
+    pub layer_self: BTreeMap<String, u64>,
+}
+
+struct Rectangle;
+
+impl ObjectCode for Rectangle {
+    fn construct(&self, ctx: &mut Invocation<'_>) -> Result<(), CloudsError> {
+        ctx.persistent().write_i32(0, 1)?;
+        ctx.persistent().write_i32(4, 1)
+    }
+
+    fn dispatch(&self, entry: &str, ctx: &mut Invocation<'_>, args: &[u8]) -> EntryResult {
+        match entry {
+            "size" => {
+                let (x, y): (i32, i32) = decode_args(args)?;
+                ctx.persistent().write_i32(0, x)?;
+                ctx.persistent().write_i32(4, y)?;
+                encode_result(&())
+            }
+            "area" => {
+                let x = ctx.persistent().read_i32(0)?;
+                let y = ctx.persistent().read_i32(4)?;
+                encode_result(&(x * y))
+            }
+            other => Err(CloudsError::NoSuchEntryPoint(other.to_string())),
+        }
+    }
+}
+
+/// Run the traced workload and profile it.
+///
+/// # Panics
+///
+/// Panics if the run produces no clean invocation-rooted trace — that
+/// is itself a regression in the tracing layer.
+pub fn run() -> CausalBreakdown {
+    let cluster = Cluster::builder()
+        .compute_servers(1)
+        .data_servers(1)
+        .workstations(1)
+        .build()
+        .expect("cluster boots");
+    cluster
+        .register_class("rectangle", Rectangle)
+        .expect("class registers");
+    let ws = cluster.workstation(0);
+    ws.create_object("rectangle", "Rect01").expect("create");
+    ws.run_wait("Rect01", "size", &(5i32, 10i32)).expect("size");
+    let area: i32 = ws.run_wait_decode("Rect01", "area", &()).expect("area");
+    assert_eq!(area, 50);
+
+    let jsonl = cluster.trace_sink().canonical_jsonl();
+    let events = parse_jsonl(&jsonl).expect("own trace parses");
+    let (forest, report) = build_forest(&events);
+    assert!(
+        report.is_clean(),
+        "causal defects in fault-free trace:\n{}",
+        report.findings().join("\n")
+    );
+
+    // Profile the longest invocation-rooted trace (the `size` call that
+    // takes the cold page faults).
+    let (tree, root) = forest
+        .trees
+        .values()
+        .filter_map(|t| {
+            t.roots
+                .iter()
+                .find(|r| t.spans[r].layer == "invoke")
+                .map(|&r| (t, r))
+        })
+        .max_by_key(|(t, r)| (t.spans[r].dur.unwrap_or(0), t.trace_id))
+        .expect("an invocation-rooted trace exists");
+    profile(&forest, tree, root)
+}
+
+fn profile(forest: &clouds_obs::causal::Forest, tree: &TraceTree, root: u64) -> CausalBreakdown {
+    let path = tree.critical_path(root);
+    let layer_self = clouds_obs::causal::layer_self_times(&path);
+    CausalBreakdown {
+        traces: forest.trees.len(),
+        spans: forest.trees.values().map(|t| t.spans.len()).sum(),
+        trace_nodes: tree.nodes().len(),
+        root_dur: Vt::from_nanos(tree.spans[&root].dur.unwrap_or(0)),
+        path,
+        layer_self,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_critical_path_telescopes_and_crosses_nodes() {
+        let b = run();
+        assert!(b.traces >= 1);
+        assert!(b.trace_nodes >= 2, "critical trace should cross nodes");
+        assert!(!b.path.is_empty());
+        let total: u64 = b.path.iter().map(|s| s.self_time).sum();
+        assert_eq!(
+            total,
+            b.root_dur.as_nanos(),
+            "per-layer self time must sum to the root duration"
+        );
+        let by_layer: u64 = b.layer_self.values().sum();
+        assert_eq!(by_layer, total);
+    }
+}

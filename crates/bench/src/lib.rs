@@ -12,6 +12,7 @@
 //!   cost of the same code paths on the host machine.
 
 pub mod baselines;
+pub mod causal_exp;
 pub mod consistency_exp;
 pub mod invocation_exp;
 pub mod kernel_exp;

@@ -26,12 +26,19 @@
 //! ([`ChaosConfig`]) and the real-time [`Pacer`] that drives schedule
 //! application forward even when a fault has stalled all traffic.
 
+use clouds_obs::{merged_registry_text, MetricsRegistry, TraceSink};
 use clouds_simnet::{FaultSchedule, Network, NodeId, Vt};
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Where flight-recorder dumps land; defaults to
+/// `<tmp>/clouds-chaos-dumps` when unset.
+pub const CHAOS_DUMP_DIR_ENV: &str = "CHAOS_DUMP_DIR";
 
 /// How a chaos test run is parameterised. Read once per test from the
 /// environment with [`ChaosConfig::from_env`].
@@ -170,6 +177,74 @@ impl Drop for Pacer {
     }
 }
 
+/// What the flight recorder captures from the system under test: the
+/// cluster-shared trace sink (every node, one virtual timeline) and the
+/// per-node metrics registries.
+struct FlightData {
+    sink: Arc<TraceSink>,
+    registries: Vec<(u64, Arc<MetricsRegistry>)>,
+}
+
+thread_local! {
+    /// Armed per attempt, on the thread running the workload (workloads
+    /// execute synchronously inside [`run_chaos`]'s `catch_unwind`).
+    static FLIGHT: RefCell<Option<FlightData>> = const { RefCell::new(None) };
+}
+
+/// Arm the flight recorder for the current attempt: call right after
+/// building the system under test, handing over its trace sink and the
+/// per-node registries (e.g. `Cluster::trace_sink()` /
+/// `Cluster::registries()`). The ring buffer stays always-on; nothing
+/// is written unless the attempt fails. Re-arming replaces the previous
+/// attempt's capture.
+pub fn arm_flight_recorder(sink: Arc<TraceSink>, registries: Vec<(u64, Arc<MetricsRegistry>)>) {
+    FLIGHT.with(|f| *f.borrow_mut() = Some(FlightData { sink, registries }));
+}
+
+/// Dump directory: `CHAOS_DUMP_DIR` or `<tmp>/clouds-chaos-dumps`.
+fn dump_dir() -> PathBuf {
+    std::env::var_os(CHAOS_DUMP_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("clouds-chaos-dumps"))
+}
+
+/// Write the armed capture out after a failed attempt: the merged
+/// cross-node trace (canonical JSONL), the canonical registry snapshot
+/// and a `replay.txt` carrying the seed, schedule and violation, so the
+/// exact failing run can be re-created from the dump alone. Returns the
+/// dump directory, or `None` when nothing was armed or writing failed
+/// (failure to dump never masks the invariant violation itself).
+fn dump_flight_record(
+    name: &str,
+    seed: u64,
+    horizon: Vt,
+    schedule: &FaultSchedule,
+    violation: &str,
+) -> Option<PathBuf> {
+    let data = FLIGHT.with(|f| f.borrow_mut().take())?;
+    let dir = dump_dir().join(format!("{name}-{seed:016x}"));
+    std::fs::create_dir_all(&dir).ok()?;
+    data.sink.write_to_path(&dir.join("trace.jsonl")).ok()?;
+    let snapshots: Vec<_> = data
+        .registries
+        .iter()
+        .map(|(node, reg)| (*node, reg.snapshot()))
+        .collect();
+    std::fs::write(&dir.join("registry.txt"), merged_registry_text(&snapshots)).ok()?;
+    let replay = format!(
+        "workload: {name}\n\
+         seed: {seed:#x}\n\
+         horizon_ms: {}\n\
+         violation: {violation}\n\
+         {schedule}\
+         replay: CHAOS_SEED={seed:#x} CHAOS_HORIZON_MS={} cargo test -p clouds-chaos {name}\n",
+        horizon.as_nanos() / 1_000_000,
+        horizon.as_nanos() / 1_000_000,
+    );
+    std::fs::write(&dir.join("replay.txt"), replay).ok()?;
+    Some(dir)
+}
+
 /// Run `workload` under every schedule the config yields.
 ///
 /// `nodes` are the machines eligible for crash/partition disruptions; the
@@ -197,6 +272,13 @@ where
     for seed in seeds {
         let schedule = FaultSchedule::generate(seed, nodes, cfg.horizon);
         if let Err(err) = attempt(&workload, &schedule) {
+            // Flight recorder: dump the *initial* failing attempt's
+            // capture before shrinking re-runs clobber the armed state.
+            let dump = dump_flight_record(name, seed, cfg.horizon, &schedule, &err);
+            let dump_line = match &dump {
+                Some(dir) => format!("flight recorder dump: {}\n", dir.display()),
+                None => String::new(),
+            };
             let (minimal, last_err) = shrink(&workload, schedule.clone(), err);
             panic!(
                 "chaos workload '{name}' failed\n\
@@ -205,6 +287,7 @@ where
                  minimal failing subset ({} of {} disruptions):\n\
                  {minimal}\
                  invariant violation: {last_err}\n\
+                 {dump_line}\
                  \n\
                  replay with: CHAOS_SEED={seed:#x} CHAOS_HORIZON_MS={} \
                  cargo test -p clouds-chaos {name}",

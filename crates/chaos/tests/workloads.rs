@@ -10,7 +10,7 @@
 
 use clouds::prelude::*;
 use clouds::{decode_args, encode_result};
-use clouds_chaos::{run_chaos, ChaosConfig, Pacer};
+use clouds_chaos::{arm_flight_recorder, run_chaos, ChaosConfig, Pacer};
 use clouds_consistency::{ConsistencyRuntime, CpOptions};
 use clouds_pet::{resilient_invoke, PetOptions, ReplicatedObject};
 use clouds_ratp::RatpConfig;
@@ -118,6 +118,7 @@ fn ledger_commits_survive_chaos() {
             .server_ratp_config(patient_ratp())
             .build()
             .map_err(err("cluster boot"))?;
+        arm_flight_recorder(cluster.trace_sink().clone(), cluster.registries());
         cluster
             .register_class("ledger", Ledger)
             .map_err(err("register class"))?;
@@ -538,6 +539,7 @@ fn pet_replicas_agree_after_chaos() {
             .server_ratp_config(patient_ratp())
             .build()
             .map_err(err("cluster boot"))?;
+        arm_flight_recorder(cluster.trace_sink().clone(), cluster.registries());
         cluster
             .register_class("tally", Tally)
             .map_err(err("register class"))?;

@@ -300,8 +300,9 @@ impl ConsistencyRuntime {
     ) -> Result<(), CloudsError> {
         let servers: Vec<NodeId> = by_server.keys().copied().collect();
         let obs = Arc::clone(compute.ratp().obs());
-        let mut span = obs.span("2pc", "gcp_commit");
-        span.set_args(format!("txn={txn} participants={}", servers.len()));
+        let detail = format!("txn={txn} participants={}", servers.len());
+        let mut span = obs.traced_span("2pc", "gcp_commit", &detail);
+        span.set_args(detail);
         obs.counter("2pc.prepares").add(servers.len() as u64);
 
         // Phase 1: prepare everywhere, in parallel across participants
@@ -371,10 +372,18 @@ impl ConsistencyRuntime {
                 .map(|(server, req)| self.call(compute, server, &req))
                 .collect();
         }
+        // Participant threads inherit the coordinator's causal context
+        // so each RaTP call parents under the gcp_commit span.
+        let ctx = clouds_obs::current_ctx();
         std::thread::scope(|s| {
             let handles: Vec<_> = calls
                 .into_iter()
-                .map(|(server, req)| s.spawn(move || self.call(compute, server, &req)))
+                .map(|(server, req)| {
+                    s.spawn(move || {
+                        let _trace = ctx.map(clouds_obs::install_ctx);
+                        self.call(compute, server, &req)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()

@@ -5,12 +5,13 @@ use crate::class::{ClassRegistry, ObjectCode};
 use crate::error::CloudsError;
 use crate::node::{ComputeServer, DataServer, Workstation};
 use clouds_naming::NameClient;
-use clouds_obs::TraceSink;
+use clouds_obs::{MetricsRegistry, TraceSink};
 use clouds_ra::SysName;
 use clouds_ratp::RatpConfig;
 use clouds_simnet::{CostModel, Network, NodeId};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -127,8 +128,9 @@ impl ClusterBuilder {
         // shares it, so the canonical stream interleaves all layers on
         // the common virtual timeline. `CLOUDS_TRACE=<path>` makes the
         // cluster write it out on drop (`.json` → Chrome trace_event,
-        // anything else → JSONL).
-        let trace_sink = Arc::new(TraceSink::default());
+        // anything else → JSONL); `CLOUDS_TRACE_CAP=<n>` overrides the
+        // ring capacity.
+        let trace_sink = Arc::new(TraceSink::from_env());
         let trace_path = std::env::var_os("CLOUDS_TRACE").map(PathBuf::from);
 
         let data_nodes: Vec<NodeId> = (0..self.data_servers)
@@ -187,6 +189,7 @@ impl ClusterBuilder {
             stations,
             trace_sink,
             trace_path,
+            dropped_reported: AtomicU64::new(0),
         })
     }
 }
@@ -220,6 +223,10 @@ pub struct Cluster {
     stations: Vec<Workstation>,
     trace_sink: Arc<TraceSink>,
     trace_path: Option<PathBuf>,
+    /// Ring-buffer drops already surfaced (warning + counter), so the
+    /// explicit [`Cluster::write_trace`] and the drop-time write don't
+    /// double-count.
+    dropped_reported: AtomicU64,
 }
 
 impl fmt::Debug for Cluster {
@@ -252,11 +259,53 @@ impl Cluster {
     /// Write the trace out now: `.json` extension selects the Chrome
     /// `trace_event` format, anything else canonical JSONL.
     ///
+    /// If the ring buffer overflowed since the last write, warns on
+    /// stderr and bumps the `obs.trace.dropped` counter (compute
+    /// server 0's registry) by the number of newly lost events, so a
+    /// truncated trace never passes silently for a complete one.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.surface_dropped();
         self.trace_sink.write_to_path(path)
+    }
+
+    fn surface_dropped(&self) {
+        let total = self.trace_sink.dropped();
+        let seen = self.dropped_reported.swap(total, Ordering::Relaxed);
+        let new = total.saturating_sub(seen);
+        if new > 0 {
+            eprintln!(
+                "CLOUDS_TRACE: ring buffer overflowed, {new} event(s) lost \
+                 ({total} total); raise {} to keep them",
+                clouds_obs::TRACE_CAP_ENV
+            );
+            self.computes[0]
+                .ratp()
+                .obs()
+                .counter("obs.trace.dropped")
+                .add(new);
+        }
+    }
+
+    /// Every node's metrics registry, keyed by node id: compute
+    /// servers, then data servers, then workstations. Feed this to the
+    /// chaos flight recorder or [`clouds_obs::merged_registry_text`]
+    /// for a cluster-wide canonical dump.
+    pub fn registries(&self) -> Vec<(u64, Arc<MetricsRegistry>)> {
+        let mut out: Vec<(u64, Arc<MetricsRegistry>)> = Vec::new();
+        for c in &self.computes {
+            out.push((c.node_id().0 as u64, Arc::clone(c.ratp().obs().registry())));
+        }
+        for d in &self.datas {
+            out.push((d.node_id().0 as u64, Arc::clone(d.ratp().obs().registry())));
+        }
+        for w in &self.stations {
+            out.push((w.node_id().0 as u64, Arc::clone(w.ratp().obs().registry())));
+        }
+        out
     }
 
     /// Load a class on every compute server ("the compiler loads the
@@ -372,6 +421,7 @@ impl Cluster {
 impl Drop for Cluster {
     fn drop(&mut self) {
         if let Some(path) = &self.trace_path {
+            self.surface_dropped();
             if let Err(e) = self.trace_sink.write_to_path(path) {
                 eprintln!("CLOUDS_TRACE: could not write {}: {e}", path.display());
             }

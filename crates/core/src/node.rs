@@ -172,13 +172,23 @@ impl ComputeInner {
         }
         let self_arc = self.self_arc();
         let obs = self.ratp.obs();
-        let mut span = obs
-            .span("invoke", "invoke")
-            .with_histogram(obs.histogram("invoke.call"));
-        span.set_args(format!(
-            "obj={target} entry={entry} depth={}",
-            thread.depth
-        ));
+        let detail = format!("obj={target} entry={entry} depth={}", thread.depth);
+        // Invocation entry is where causal traces begin. A top-level
+        // invocation (no ambient context — a fresh thread, or a caller
+        // outside the traced stack) roots a new trace whose id is
+        // derived from the deterministic thread id and the thread's
+        // root counter; nested and remotely continued invocations
+        // attach to the ambient context instead (for the remote path
+        // the RaTP handler installed the caller's wire context).
+        let mut span = if clouds_obs::current_ctx().is_some() {
+            obs.traced_span("invoke", "invoke", &detail)
+        } else {
+            thread.trace_roots += 1;
+            let trace_id = clouds_obs::derive_trace_id(thread.id.0, thread.trace_roots);
+            obs.root_span(trace_id, "invoke", "invoke", &detail)
+        }
+        .with_histogram(obs.histogram("invoke.call"));
+        span.set_args(detail);
         let activation = self.object_manager.activate(target)?;
         let cost = self.kernel.cost().clone();
         // Entering the object: context switch + stack remap (§4.3).
@@ -1013,6 +1023,12 @@ impl Workstation {
     /// The terminal multiplexer.
     pub fn io(&self) -> &Arc<UserIoManager> {
         &self.io
+    }
+
+    /// The workstation's transport endpoint (its observability handle —
+    /// metrics registry and trace sink — hangs off it).
+    pub fn ratp(&self) -> &Arc<RatpNode> {
+        &self.ratp
     }
 
     fn pick_compute(&self) -> NodeId {

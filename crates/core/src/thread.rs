@@ -63,6 +63,11 @@ pub struct ThreadState {
     pub visited: Vec<SysName>,
     /// Current invocation nesting depth.
     pub depth: u32,
+    /// Trace roots this thread has started (top-level invocations with
+    /// no ambient causal context). Together with the deterministic
+    /// [`ThreadId`] this seeds the derived trace id, keeping same-seed
+    /// traces byte-identical.
+    pub trace_roots: u64,
 }
 
 impl fmt::Debug for ThreadState {
@@ -85,6 +90,7 @@ impl ThreadState {
             session: None,
             visited: Vec::new(),
             depth: 0,
+            trace_roots: 0,
         }
     }
 

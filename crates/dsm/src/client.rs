@@ -10,7 +10,7 @@ use crate::proto::{
     self, ports, DsmReply, DsmRequest, RecallReply, RecallRequest, WireInstallAck, WireMode,
     WireWriteBack,
 };
-use clouds_obs::{Counter, Histogram, NodeObs};
+use clouds_obs::{current_ctx, install_ctx, Counter, Histogram, NodeObs};
 use clouds_ra::{
     AccessMode, PageCache, PageFetch, Partition, RaError, ReclaimOutcome, SysName, WriteBackItem,
 };
@@ -313,10 +313,14 @@ impl DsmClientPartition {
             };
         }
         let (tx, rx) = std::sync::mpsc::channel();
+        // Probe threads inherit the faulting thread's causal context so
+        // their RaTP calls stay inside the ambient trace.
+        let ctx = current_ctx();
         for &server in &self.data_servers {
             let ratp = Arc::clone(&self.ratp);
             let tx = tx.clone();
             std::thread::spawn(move || {
+                let _trace = ctx.map(install_ctx);
                 let found = matches!(
                     ratp.call(server, ports::DSM_SERVER, proto::encode(&DsmRequest::SegmentLen { seg }))
                         .map(|bytes| proto::decode::<DsmReply>(&bytes)),
@@ -356,11 +360,12 @@ impl DsmClientPartition {
     fn fetch_batch(&self, seg: SysName, first: u32, window: u32) -> clouds_ra::Result<PageFetch> {
         self.metrics.fetch_rpcs.inc();
         self.metrics.batch_fetches.inc();
+        let detail = format!("seg={seg} first={first} window={window}");
         let mut span = self
             .obs
-            .span("dsm.client", "fetch_pages")
+            .traced_span("dsm.client", "fetch_pages", &detail)
             .with_histogram(Arc::clone(&self.metrics.fetch_latency));
-        span.set_args(format!("seg={seg} first={first} window={window}"));
+        span.set_args(detail);
         self.on_home(seg, |home| {
             match self.call(
                 home,
@@ -419,8 +424,9 @@ impl DsmClientPartition {
         let n = pages.len();
         self.metrics.batch_write_back_rpcs.inc();
         self.metrics.pages_written_batched.add(n as u64);
-        let mut span = self.obs.span("dsm.client", "write_back_batch");
-        span.set_args(format!("home={} pages={n}", home.0));
+        let detail = format!("home={} pages={n}", home.0);
+        let mut span = self.obs.traced_span("dsm.client", "write_back_batch", &detail);
+        span.set_args(detail);
         match self.call(home, &DsmRequest::WriteBackBatch { pages }) {
             Ok(DsmReply::WriteBackResults { results }) if results.len() == n => results
                 .into_iter()
@@ -496,11 +502,12 @@ impl Partition for DsmClientPartition {
             AccessMode::Write => WireMode::Write,
         };
         self.metrics.fetch_rpcs.inc();
+        let detail = format!("seg={seg} page={page} mode={mode:?}");
         let mut span = self
             .obs
-            .span("dsm.client", "fetch_page")
+            .traced_span("dsm.client", "fetch_page", &detail)
             .with_histogram(Arc::clone(&self.metrics.fetch_latency));
-        span.set_args(format!("seg={seg} page={page} mode={mode:?}"));
+        span.set_args(detail);
         let fetched = self.on_home(seg, |home| {
             match self.call(
                 home,
@@ -575,11 +582,15 @@ impl Partition for DsmClientPartition {
                 Err(e) => results[i] = Err(e),
             }
         }
+        // Per-home threads inherit the committing thread's causal
+        // context: the batch spans parent under the ambient span.
+        let ctx = current_ctx();
         let outcomes: Vec<(Vec<usize>, Vec<clouds_ra::Result<u64>>)> = std::thread::scope(|s| {
             let handles: Vec<_> = groups
                 .into_iter()
                 .map(|(home, idxs)| {
                     s.spawn(move || {
+                        let _trace = ctx.map(install_ctx);
                         let pages: Vec<WireWriteBack> = idxs
                             .iter()
                             .map(|&i| WireWriteBack {

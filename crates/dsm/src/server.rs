@@ -427,8 +427,11 @@ impl DsmServer {
         if let Err(e) = self.store.get(seg) {
             return DsmReply::Err(e.into());
         }
-        let mut span = self.obs.span("dsm.server", "serve_fetch");
-        span.set_args(format!("src={} seg={seg} page={page} mode={mode:?}", src.0));
+        // Serving runs on the RaTP handler thread, which installed the
+        // caller's wire context — the span parents across the node hop.
+        let detail = format!("src={} seg={seg} page={page} mode={mode:?}", src.0);
+        let mut span = self.obs.traced_span("dsm.server", "serve_fetch", &detail);
+        span.set_args(detail);
         let key = (seg, page);
         let state = self.begin_transition(key);
 

@@ -30,13 +30,134 @@
 
 use clouds_simnet::{VirtualClock, Vt};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+pub mod causal;
+
 /// Default ring capacity of a [`TraceSink`] (events, not bytes).
 pub const DEFAULT_SINK_CAPACITY: usize = 1 << 16;
+
+/// Environment variable overriding the cluster trace-ring capacity.
+pub const TRACE_CAP_ENV: &str = "CLOUDS_TRACE_CAP";
+
+// ---------------------------------------------------------------------------
+// Span contexts (Dapper-style causal identity)
+// ---------------------------------------------------------------------------
+
+/// Causal identity of a span, carried across RaTP calls so receiver-side
+/// spans attach to their true parents.
+///
+/// `trace_id == 0` means "not traced" — the zero context is the absent
+/// context. A root span has `parent_id == 0`. All ids are derived by
+/// FNV-1a hashing deterministic inputs (virtual time, protocol state),
+/// never from wall clocks or global atomics, so same-seed runs allocate
+/// identical ids (the determinism invariant byte-compares traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SpanContext {
+    /// Identifies one end-to-end causal tree (0 = untraced).
+    pub trace_id: u64,
+    /// This span's id within the trace.
+    pub span_id: u64,
+    /// The parent span's id (0 = root).
+    pub parent_id: u64,
+}
+
+impl SpanContext {
+    /// The absent context.
+    pub const NONE: SpanContext = SpanContext {
+        trace_id: 0,
+        span_id: 0,
+        parent_id: 0,
+    };
+
+    /// True when this context names a real trace.
+    pub fn is_some(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+thread_local! {
+    /// Stack of installed contexts; the top is the ambient parent for
+    /// new spans and instants on this thread.
+    static CTX_STACK: RefCell<Vec<SpanContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The ambient span context on this thread, if any.
+pub fn current_ctx() -> Option<SpanContext> {
+    CTX_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Install `ctx` as the ambient context until the guard drops.
+///
+/// Used on the receiving side of a traced RaTP message: the handler
+/// thread installs the wire context so the spans it opens become
+/// children of the remote caller's span.
+pub fn install_ctx(ctx: SpanContext) -> CtxGuard {
+    CTX_STACK.with(|s| s.borrow_mut().push(ctx));
+    CtxGuard {
+        ctx,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Guard for an installed context; pops it on drop.
+pub struct CtxGuard {
+    ctx: SpanContext,
+    // The guard pops a thread-local: it must drop on the installing
+    // thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CTX_STACK.with(|s| {
+            let mut v = s.borrow_mut();
+            if let Some(i) = v.iter().rposition(|c| *c == self.ctx) {
+                v.remove(i);
+            }
+        });
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a-64 over a mixed word/text key, never returning 0 (0 is the
+/// "absent id" sentinel). Deterministic across runs and platforms.
+pub fn derive_id(words: &[u64], text: &[&str]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        h = fnv_step(h, &w.to_le_bytes());
+    }
+    for t in text {
+        h = fnv_step(h, t.as_bytes());
+        // Separator so ("ab","c") and ("a","bc") differ.
+        h = fnv_step(h, &[0xFF]);
+    }
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Trace id of the `seq`-th root started by thread `thread_id` —
+/// deterministic because thread ids and root ordering per thread are.
+pub fn derive_trace_id(thread_id: u64, seq: u64) -> u64 {
+    derive_id(&[thread_id, seq], &["trace-root"])
+}
 
 // ---------------------------------------------------------------------------
 // Trace events
@@ -62,16 +183,23 @@ pub struct TraceEvent {
     pub layer: &'static str,
     /// Event name within the layer.
     pub name: &'static str,
+    /// Causal identity ([`SpanContext::NONE`] when untraced). Spans
+    /// carry their own `span_id`; instants carry `span_id == 0` with
+    /// `parent_id` naming the ambient span they annotate.
+    pub ctx: SpanContext,
     /// Short `key=value` detail string (may be empty).
     pub args: String,
 }
 
 impl TraceEvent {
     /// Total order used for canonical serialization: `(ts, node, layer,
-    /// name, args, dur)`. Thread interleaving may vary the *record*
+    /// name, args, dur, ctx)`. Thread interleaving may vary the *record*
     /// order between runs, but if the event set and virtual timestamps
     /// are deterministic, the canonical order is too.
-    fn canonical_key(&self) -> (u64, u64, &'static str, &'static str, &str, u64) {
+    #[allow(clippy::type_complexity)]
+    fn canonical_key(
+        &self,
+    ) -> (u64, u64, &'static str, &'static str, &str, u64, (u64, u64, u64)) {
         (
             self.ts.as_nanos(),
             self.node,
@@ -79,10 +207,13 @@ impl TraceEvent {
             self.name,
             &self.args,
             self.dur.map_or(0, Vt::as_nanos),
+            (self.ctx.trace_id, self.ctx.span_id, self.ctx.parent_id),
         )
     }
 
-    /// One JSON object, fixed key order, no whitespace.
+    /// One JSON object, fixed key order, no whitespace. Traced events
+    /// add `"trace"`, `"span"`, `"parent"` between `name` and `args`;
+    /// untraced events serialize exactly as before the causal layer.
     fn to_json(&self) -> String {
         let mut s = String::with_capacity(96);
         let _ = write!(s, "{{\"ts\":{}", self.ts.as_nanos());
@@ -91,12 +222,19 @@ impl TraceEvent {
         }
         let _ = write!(
             s,
-            ",\"node\":{},\"layer\":\"{}\",\"name\":\"{}\",\"args\":\"{}\"}}",
+            ",\"node\":{},\"layer\":\"{}\",\"name\":\"{}\"",
             self.node,
             escape(self.layer),
             escape(self.name),
-            escape(&self.args)
         );
+        if self.ctx.is_some() {
+            let _ = write!(
+                s,
+                ",\"trace\":{},\"span\":{},\"parent\":{}",
+                self.ctx.trace_id, self.ctx.span_id, self.ctx.parent_id
+            );
+        }
+        let _ = write!(s, ",\"args\":\"{}\"}}", escape(&self.args));
         s
     }
 }
@@ -259,6 +397,20 @@ impl TraceSink {
 impl Default for TraceSink {
     fn default() -> TraceSink {
         TraceSink::new(DEFAULT_SINK_CAPACITY)
+    }
+}
+
+impl TraceSink {
+    /// A sink whose capacity honours the `CLOUDS_TRACE_CAP` environment
+    /// variable (events; decimal), falling back to
+    /// [`DEFAULT_SINK_CAPACITY`] when unset, unparsable, or zero.
+    pub fn from_env() -> TraceSink {
+        let cap = std::env::var(TRACE_CAP_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_SINK_CAPACITY);
+        TraceSink::new(cap)
     }
 }
 
@@ -430,6 +582,48 @@ pub struct RegistrySnapshot {
     pub histograms: Vec<(String, HistogramSummary)>,
 }
 
+impl RegistrySnapshot {
+    /// Canonical text serialization: one metric per line, sorted by
+    /// name regardless of how the snapshot vectors were assembled, so
+    /// same-seed registry dumps are byte-identical like traces are.
+    pub fn canonical_text(&self) -> String {
+        let mut counters = self.counters.clone();
+        counters.sort();
+        let mut histograms = self.histograms.clone();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        for (name, v) in &counters {
+            let _ = writeln!(out, "counter {name} {v}");
+        }
+        for (name, s) in &histograms {
+            let _ = writeln!(
+                out,
+                "hist {name} count={} sum={} min={} max={} p50={} p99={}",
+                s.count,
+                s.sum.as_nanos(),
+                s.min.as_nanos(),
+                s.max.as_nanos(),
+                s.p50.as_nanos(),
+                s.p99.as_nanos()
+            );
+        }
+        out
+    }
+}
+
+/// Canonical text of several nodes' snapshots, sorted by node id — the
+/// registry half of a flight-recorder dump.
+pub fn merged_registry_text(nodes: &[(u64, RegistrySnapshot)]) -> String {
+    let mut sorted: Vec<&(u64, RegistrySnapshot)> = nodes.iter().collect();
+    sorted.sort_by_key(|(node, _)| *node);
+    let mut out = String::new();
+    for (node, snap) in sorted {
+        let _ = writeln!(out, "# node {node}");
+        out.push_str(&snap.canonical_text());
+    }
+    out
+}
+
 impl MetricsRegistry {
     /// A fresh, empty registry.
     pub fn new() -> MetricsRegistry {
@@ -565,26 +759,99 @@ impl NodeObs {
         self.registry.histogram(name)
     }
 
-    /// Record an instant event at the current virtual time.
+    /// Record an instant event at the current virtual time. When an
+    /// ambient context is installed, the instant carries
+    /// `(trace, span=0, parent=ambient span)` — a leaf annotation on
+    /// the enclosing span.
     pub fn instant(&self, layer: &'static str, name: &'static str, args: String) {
+        let ctx = current_ctx().map_or(SpanContext::NONE, |c| SpanContext {
+            trace_id: c.trace_id,
+            span_id: 0,
+            parent_id: c.span_id,
+        });
         self.sink.record(TraceEvent {
             ts: self.clock.now(),
             dur: None,
             node: self.node,
             layer,
             name,
+            ctx,
             args,
         });
     }
 
-    /// Open a span starting at the current virtual time; it records on
-    /// [`Span::finish`] (or drop) with the elapsed virtual duration.
+    /// Open an untraced span starting at the current virtual time; it
+    /// records on [`Span::finish`] (or drop) with the elapsed virtual
+    /// duration.
     pub fn span(self: &Arc<Self>, layer: &'static str, name: &'static str) -> Span {
         Span {
             obs: Arc::clone(self),
             layer,
             name,
             start: self.clock.now(),
+            ctx: SpanContext::NONE,
+            pushed: false,
+            args: String::new(),
+            histogram: None,
+            done: false,
+        }
+    }
+
+    /// Open a span as a child of the ambient context if one is
+    /// installed, or an untraced span otherwise. `disc` disambiguates
+    /// the derived span id from siblings with the same name and start
+    /// time (e.g. `dst=… port=… txn=…`); it does not appear in the
+    /// event. The span's context becomes ambient until it records.
+    pub fn traced_span(
+        self: &Arc<Self>,
+        layer: &'static str,
+        name: &'static str,
+        disc: &str,
+    ) -> Span {
+        match current_ctx() {
+            Some(parent) => self.span_in_trace(parent.trace_id, parent.span_id, layer, name, disc),
+            None => self.span(layer, name),
+        }
+    }
+
+    /// Open a **root** span of the trace `trace_id` (parent 0). The
+    /// span's context becomes ambient until it records.
+    pub fn root_span(
+        self: &Arc<Self>,
+        trace_id: u64,
+        layer: &'static str,
+        name: &'static str,
+        disc: &str,
+    ) -> Span {
+        self.span_in_trace(trace_id, 0, layer, name, disc)
+    }
+
+    fn span_in_trace(
+        self: &Arc<Self>,
+        trace_id: u64,
+        parent_id: u64,
+        layer: &'static str,
+        name: &'static str,
+        disc: &str,
+    ) -> Span {
+        let start = self.clock.now();
+        let span_id = derive_id(
+            &[trace_id, parent_id, self.node, start.as_nanos()],
+            &[layer, name, disc],
+        );
+        let ctx = SpanContext {
+            trace_id,
+            span_id,
+            parent_id,
+        };
+        CTX_STACK.with(|s| s.borrow_mut().push(ctx));
+        Span {
+            obs: Arc::clone(self),
+            layer,
+            name,
+            start,
+            ctx,
+            pushed: true,
             args: String::new(),
             histogram: None,
             done: false,
@@ -599,6 +866,8 @@ pub struct Span {
     layer: &'static str,
     name: &'static str,
     start: Vt,
+    ctx: SpanContext,
+    pushed: bool,
     args: String,
     histogram: Option<Arc<Histogram>>,
     done: bool,
@@ -621,11 +890,25 @@ impl Span {
         self.start
     }
 
+    /// This span's causal context ([`SpanContext::NONE`] when
+    /// untraced) — what a transport attaches to outgoing messages.
+    pub fn ctx(&self) -> SpanContext {
+        self.ctx
+    }
+
     fn record(&mut self) {
         if self.done {
             return;
         }
         self.done = true;
+        if self.pushed {
+            CTX_STACK.with(|s| {
+                let mut v = s.borrow_mut();
+                if let Some(i) = v.iter().rposition(|c| *c == self.ctx) {
+                    v.remove(i);
+                }
+            });
+        }
         let end = self.obs.clock.now();
         let dur = end.saturating_sub(self.start);
         if let Some(h) = &self.histogram {
@@ -637,6 +920,7 @@ impl Span {
             node: self.obs.node,
             layer: self.layer,
             name: self.name,
+            ctx: self.ctx,
             args: std::mem::take(&mut self.args),
         });
     }
@@ -664,6 +948,7 @@ mod tests {
             node,
             layer: "test",
             name,
+            ctx: SpanContext::NONE,
             args: String::new(),
         }
     }
@@ -713,12 +998,35 @@ mod tests {
             node: 42,
             layer: "dsm.client",
             name: "fetch_pages",
+            ctx: SpanContext::NONE,
             args: "seg=\"s\"\n".to_string(),
         });
         let line = sink.canonical_jsonl();
         assert_eq!(
             line,
             "{\"ts\":7,\"dur\":3,\"node\":42,\"layer\":\"dsm.client\",\"name\":\"fetch_pages\",\"args\":\"seg=\\\"s\\\"\\n\"}\n"
+        );
+    }
+
+    #[test]
+    fn traced_jsonl_carries_ids_between_name_and_args() {
+        let sink = TraceSink::new(4);
+        sink.record(TraceEvent {
+            ts: Vt::from_nanos(7),
+            dur: Some(Vt::from_nanos(3)),
+            node: 42,
+            layer: "invoke",
+            name: "invoke",
+            ctx: SpanContext {
+                trace_id: 9,
+                span_id: 5,
+                parent_id: 0,
+            },
+            args: "depth=0".to_string(),
+        });
+        assert_eq!(
+            sink.canonical_jsonl(),
+            "{\"ts\":7,\"dur\":3,\"node\":42,\"layer\":\"invoke\",\"name\":\"invoke\",\"trace\":9,\"span\":5,\"parent\":0,\"args\":\"depth=0\"}\n"
         );
     }
 
@@ -732,6 +1040,7 @@ mod tests {
             node: 1,
             layer: "test",
             name: "s",
+            ctx: SpanContext::NONE,
             args: String::new(),
         });
         let body = sink.chrome_trace();
@@ -833,5 +1142,145 @@ mod tests {
         assert_eq!(events[1].ts, Vt::from_micros(250));
         assert_eq!(hist.summary().count, 1);
         assert_eq!(hist.summary().max, Vt::from_micros(250));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_at_powers_of_two() {
+        // Every exact power of two opens its own bucket; the value just
+        // below it still belongs to the previous one.
+        for k in 0..64u32 {
+            let edge = 1u64 << k;
+            assert_eq!(bucket_index(edge), k as usize, "edge 2^{k}");
+            if k > 0 {
+                assert_eq!(bucket_index(edge - 1), k as usize - 1, "below 2^{k}");
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_index(u64::MAX - 1), 63);
+
+        // Top-bucket samples: quantiles saturate at u64::MAX instead of
+        // overflowing the exclusive upper bound.
+        let h = Histogram::default();
+        h.record(Vt::from_nanos(u64::MAX));
+        h.record(Vt::from_nanos(u64::MAX - 1));
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, Vt::from_nanos(u64::MAX));
+        assert_eq!(s.p50, Vt::from_nanos(u64::MAX));
+        assert_eq!(s.p99, Vt::from_nanos(u64::MAX));
+
+        // Zero lands in bucket 0 with the ones.
+        let z = Histogram::default();
+        z.record(Vt::ZERO);
+        z.record(Vt::from_nanos(1));
+        let s = z.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, Vt::ZERO);
+        assert_eq!(s.p50, Vt::from_nanos(2), "bucket 0 upper bound");
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_all_zero() {
+        let s = Histogram::default().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), Vt::ZERO, "mean must not divide by zero");
+        assert_eq!(s.sum, Vt::ZERO);
+        assert_eq!(s.min, Vt::ZERO);
+        assert_eq!(s.max, Vt::ZERO);
+        assert_eq!(s.p50, Vt::ZERO);
+        assert_eq!(s.p99, Vt::ZERO);
+    }
+
+    #[test]
+    fn derive_id_is_deterministic_separated_and_nonzero() {
+        let a = derive_id(&[1, 2], &["x", "y"]);
+        assert_eq!(a, derive_id(&[1, 2], &["x", "y"]));
+        assert_ne!(a, derive_id(&[1, 2], &["xy", ""]), "text separator matters");
+        assert_ne!(a, derive_id(&[2, 1], &["x", "y"]));
+        assert_ne!(derive_trace_id(1, 1), derive_trace_id(1, 2));
+        assert_ne!(derive_id(&[], &[]), 0);
+    }
+
+    #[test]
+    fn traced_spans_nest_and_instants_attach_to_ambient() {
+        let clock = Arc::new(VirtualClock::new());
+        let obs = NodeObs::solo(3, Arc::clone(&clock));
+        assert_eq!(current_ctx(), None);
+
+        let root = obs.root_span(0xDEAD, "invoke", "invoke", "obj=o");
+        let root_ctx = root.ctx();
+        assert_eq!(root_ctx.trace_id, 0xDEAD);
+        assert_eq!(root_ctx.parent_id, 0);
+        assert_eq!(current_ctx(), Some(root_ctx));
+
+        clock.charge(Vt::from_micros(10));
+        let child = obs.traced_span("ratp", "call", "dst=2");
+        let child_ctx = child.ctx();
+        assert_eq!(child_ctx.trace_id, 0xDEAD);
+        assert_eq!(child_ctx.parent_id, root_ctx.span_id);
+        obs.instant("ratp", "retransmit", String::new());
+        child.finish();
+        assert_eq!(current_ctx(), Some(root_ctx), "child popped on record");
+        root.finish();
+        assert_eq!(current_ctx(), None);
+
+        // Without an ambient context, traced_span degrades to untraced.
+        let plain = obs.traced_span("ratp", "call", "dst=2");
+        assert_eq!(plain.ctx(), SpanContext::NONE);
+        assert_eq!(current_ctx(), None);
+        plain.finish();
+
+        let events = obs.sink().canonical();
+        let instant = events.iter().find(|e| e.name == "retransmit").unwrap();
+        assert_eq!(instant.ctx.trace_id, 0xDEAD);
+        assert_eq!(instant.ctx.span_id, 0);
+        assert_eq!(instant.ctx.parent_id, child_ctx.span_id);
+    }
+
+    #[test]
+    fn installed_ctx_parents_remote_side_spans() {
+        let clock = Arc::new(VirtualClock::new());
+        let obs = NodeObs::solo(9, Arc::clone(&clock));
+        let wire = SpanContext {
+            trace_id: 7,
+            span_id: 21,
+            parent_id: 3,
+        };
+        {
+            let _g = install_ctx(wire);
+            let server = obs.traced_span("dsm.server", "serve_fetch", "page=0");
+            assert_eq!(server.ctx().trace_id, 7);
+            assert_eq!(server.ctx().parent_id, 21, "child of the wire span");
+            server.finish();
+        }
+        assert_eq!(current_ctx(), None);
+    }
+
+    #[test]
+    fn registry_snapshot_text_is_canonically_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zz.last").add(2);
+        reg.counter("aa.first").inc();
+        reg.histogram("m.lat").record(Vt::from_nanos(5));
+        let text = reg.snapshot().canonical_text();
+        assert_eq!(
+            text,
+            "counter aa.first 1\ncounter zz.last 2\nhist m.lat count=1 sum=5 min=5 max=5 p50=8 p99=8\n"
+        );
+
+        // Even a hand-assembled snapshot in the wrong order serializes
+        // canonically — the byte-identity fix.
+        let scrambled = RegistrySnapshot {
+            counters: vec![("zz.last".into(), 2), ("aa.first".into(), 1)],
+            histograms: reg.snapshot().histograms,
+        };
+        assert_eq!(scrambled.canonical_text(), text);
+
+        let merged = merged_registry_text(&[
+            (5, reg.snapshot()),
+            (1, RegistrySnapshot::default()),
+        ]);
+        assert!(merged.starts_with("# node 1\n# node 5\n"), "{merged}");
     }
 }

@@ -13,6 +13,10 @@ use std::sync::Arc;
 
 static PET_OWNER: AtomicU64 = AtomicU64::new(1);
 static PET_TXN: AtomicU64 = AtomicU64::new(1);
+/// Seeds the derived trace id of a resilient computation started with
+/// no ambient causal context (deterministic as long as such top-level
+/// calls are issued in a deterministic order, which the harnesses do).
+static PET_ROOT: AtomicU64 = AtomicU64::new(1);
 
 /// Tuning for a resilient computation.
 #[derive(Debug, Clone)]
@@ -102,12 +106,18 @@ pub fn resilient_invoke(
         .unwrap_or(robj.degree() / 2 + 1)
         .clamp(1, robj.degree());
     let obs = Arc::clone(computes[0].ratp().obs());
-    let mut span = obs.span("pet", "resilient_invoke");
-    span.set_args(format!(
-        "pets={} degree={} quorum={quorum}",
-        opts.pets,
-        robj.degree()
-    ));
+    let detail = format!("pets={} degree={} quorum={quorum}", opts.pets, robj.degree());
+    // Child of the ambient span when one exists (a PET launched from
+    // inside an invocation); otherwise the root of a fresh trace.
+    let mut span = if clouds_obs::current_ctx().is_some() {
+        obs.traced_span("pet", "resilient_invoke", &detail)
+    } else {
+        let seq = PET_ROOT.fetch_add(1, Ordering::Relaxed);
+        let trace_id = clouds_obs::derive_trace_id(0xBE7u64 << 48, seq);
+        obs.root_span(trace_id, "pet", "resilient_invoke", &detail)
+    };
+    span.set_args(detail);
+    let pet_ctx = span.ctx();
 
     // Phase 1: launch the PETs ("the separate threads run independently
     // as if there is no replication").
@@ -120,6 +130,9 @@ pub fn resilient_invoke(
         let args = args.to_vec();
         let lock_wait = opts.lock_wait_ms;
         handles.push(std::thread::spawn(move || {
+            // Inherit the resilient_invoke span: each PET's invocation
+            // becomes a child in the same trace instead of a new root.
+            let _trace = pet_ctx.is_some().then(|| clouds_obs::install_ctx(pet_ctx));
             let owner = PET_OWNER.fetch_add(1, Ordering::Relaxed) | (0xBE7u64 << 48);
             let hooks = Arc::new(RemoteLockHooks::new(
                 Arc::clone(compute.ratp()),

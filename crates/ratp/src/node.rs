@@ -3,7 +3,7 @@
 
 use crate::packet::{fragment, Packet, PacketKind, Reassembly};
 use bytes::Bytes;
-use clouds_obs::{Counter, Histogram, NodeObs};
+use clouds_obs::{current_ctx, install_ctx, Counter, Histogram, NodeObs, SpanContext};
 use clouds_simnet::{Endpoint, NodeId, RecvError, SendError, VirtualClock};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Mutex, RwLock};
@@ -273,7 +273,11 @@ impl RatpNode {
     pub fn notify(&self, dst: NodeId, port: u16, payload: Bytes) {
         self.metrics.notifies.inc();
         let txn = self.next_txn();
-        for packet in fragment(PacketKind::Notify, port, txn, payload) {
+        // A notify opens no span of its own; it forwards the ambient
+        // context so the receiver's handler attaches to the sender's
+        // current span.
+        let ctx = current_ctx().unwrap_or(SpanContext::NONE);
+        for packet in fragment(PacketKind::Notify, port, txn, payload, ctx) {
             self.endpoint.clock().charge(self.cost().transport_packet);
             let _ = self.endpoint.send(dst, packet.encode());
         }
@@ -292,9 +296,14 @@ impl RatpNode {
         max_retries: u32,
     ) -> Result<Bytes, CallError> {
         self.metrics.calls.inc();
+        // The call span is a child of whatever span is running on this
+        // thread; its context rides in every request fragment so the
+        // remote handler's spans become its children in turn. The
+        // discriminator is (dst, port) — not txn, whose allocation
+        // order is thread-interleaving-dependent.
         let mut span = self
             .obs
-            .span("ratp", "call")
+            .traced_span("ratp", "call", &format!("dst={} port={}", dst.0, port))
             .with_histogram(Arc::clone(&self.metrics.rtt));
         let txn = self.next_txn();
         let (reply_tx, reply_rx) = bounded(1);
@@ -305,7 +314,7 @@ impl RatpNode {
                 reassembly: None,
             },
         );
-        let frames: Vec<Bytes> = fragment(PacketKind::Request, port, txn, payload)
+        let frames: Vec<Bytes> = fragment(PacketKind::Request, port, txn, payload, span.ctx())
             .into_iter()
             .map(|p| p.encode())
             .collect();
@@ -402,6 +411,7 @@ fn receive_loop(weak: Weak<RatpNode>) {
 fn handle_request_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
     let key = (src, pkt.txn);
     let port = pkt.port;
+    let ctx = pkt.ctx;
     let complete = {
         let mut server = node.server.lock();
         if let Some(reply_frames) = server.replied.get(&key) {
@@ -439,11 +449,16 @@ fn handle_request_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
         }
         Some(service) => {
             // Run the handler on its own thread so it may block (e.g. the
-            // DSM server forwarding a page request to another node).
+            // DSM server forwarding a page request to another node). The
+            // wire context (the remote caller's span) is installed for
+            // the handler's lifetime, so every span the service opens —
+            // and every nested RaTP call it makes — carries the caller
+            // as its causal parent.
             let node = Arc::clone(node);
             std::thread::Builder::new()
                 .name(format!("ratp-handler-{}-p{port}", node.endpoint.id()))
                 .spawn(move || {
+                    let _trace = ctx.is_some().then(|| install_ctx(ctx));
                     let reply = service.handle(Request {
                         src,
                         payload: message,
@@ -462,6 +477,7 @@ fn handle_request_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
 fn handle_notify_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
     let key = (src, pkt.txn);
     let port = pkt.port;
+    let ctx = pkt.ctx;
     let complete = {
         let mut server = node.server.lock();
         let reassembly = server
@@ -482,6 +498,7 @@ fn handle_notify_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
     std::thread::Builder::new()
         .name(format!("ratp-notify-{}-p{port}", node.endpoint.id()))
         .spawn(move || {
+            let _trace = ctx.is_some().then(|| install_ctx(ctx));
             let _ = service.handle(Request {
                 src,
                 payload: message,
@@ -492,8 +509,9 @@ fn handle_notify_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
 }
 
 fn encode_reply(kind: PacketKind, port: u16, txn: u64, reply: Bytes) -> Arc<Vec<Bytes>> {
+    // Replies carry no context: the caller still holds its span open.
     Arc::new(
-        fragment(kind, port, txn, reply)
+        fragment(kind, port, txn, reply, SpanContext::NONE)
             .into_iter()
             .map(|p| p.encode())
             .collect(),

@@ -1,28 +1,53 @@
-//! RaTP wire format.
+//! RaTP wire format, version 1.
 //!
 //! Every frame carries exactly one packet:
 //!
 //! ```text
-//! byte 0      kind        (1 = request fragment, 2 = reply fragment,
-//!                          3 = negative reply: service not found)
+//! byte 0      ver | kind  high nibble: wire version (1); low nibble:
+//!                          kind (1 = request fragment, 2 = reply
+//!                          fragment, 3 = negative reply: service not
+//!                          found, 4 = one-way notify)
 //! bytes 1..3  port        destination service (requests) / 0 (replies)
 //! bytes 3..11 txn         transaction id (client node id << 32 | counter)
 //! bytes 11..13 frag_index fragment number, 0-based
 //! bytes 13..15 frag_count total fragments in the message
-//! bytes 15..19 checksum   FNV-1a over the whole packet (checksum field
-//!                          zeroed); corrupted frames fail [`Packet::decode`]
-//!                          and are re-covered by retransmission
-//! bytes 19..  payload     fragment payload
+//! byte 15     flags       bit 0: span-context extension present
+//! bytes 16..20 checksum   FNV-1a over the whole packet (checksum field
+//!                          zeroed), extensions and payload included;
+//!                          corrupted frames fail [`Packet::decode`] and
+//!                          are re-covered by retransmission
+//! bytes 20..44 span ctx   (flag bit 0 only) trace_id, span_id,
+//!                          parent_id — the sender's causal identity,
+//!                          re-installed by the receiving handler
+//! bytes 20/44.. payload   fragment payload
 //! ```
+//!
+//! Version-0 peers (no version nibble) see kind bytes `0x11`–`0x14` and
+//! reject them as unknown kinds; version-1 decode likewise rejects the
+//! version-0 byte range — a clean mutual refusal rather than a
+//! misparse.
 
 use bytes::{Bytes, BytesMut};
+use clouds_obs::SpanContext;
 use clouds_simnet::MTU;
 
-/// Bytes of RaTP header per fragment.
-pub const HEADER_LEN: usize = 19;
+/// Wire format version carried in the high nibble of byte 0.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Bytes of fixed RaTP header per fragment (excludes extensions).
+pub const HEADER_LEN: usize = 20;
+
+/// Bytes of the optional span-context extension.
+pub const CTX_LEN: usize = 24;
+
+/// Byte offset of the flags field within the header.
+const FLAGS_OFFSET: usize = 15;
 
 /// Byte offset of the checksum field within the header.
-const CHECKSUM_OFFSET: usize = 15;
+const CHECKSUM_OFFSET: usize = 16;
+
+/// Flags bit 0: the span-context extension follows the header.
+const FLAG_CTX: u8 = 0x01;
 
 /// FNV-1a, 32-bit, over a packet image with the checksum field zeroed.
 fn checksum(parts: &[&[u8]]) -> u32 {
@@ -35,8 +60,11 @@ fn checksum(parts: &[&[u8]]) -> u32 {
     h
 }
 
-/// Maximum payload bytes carried by one fragment.
-pub const MAX_FRAGMENT_PAYLOAD: usize = MTU - HEADER_LEN;
+/// Maximum payload bytes carried by one fragment. Reserved assuming the
+/// context extension is present, so fragmentation geometry — and with
+/// it message framing and virtual-time cost — is independent of whether
+/// a message happens to be traced.
+pub const MAX_FRAGMENT_PAYLOAD: usize = MTU - HEADER_LEN - CTX_LEN;
 
 /// Packet type discriminator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +108,9 @@ pub struct Packet {
     pub frag_index: u16,
     /// Total number of fragments in the message.
     pub frag_count: u16,
+    /// Causal context of the sending span ([`SpanContext::NONE`] when
+    /// untraced; carried on the wire only when present).
+    pub ctx: SpanContext,
     /// Fragment payload.
     pub payload: Bytes,
 }
@@ -93,20 +124,28 @@ impl Packet {
     /// are produced by the crate's fragmentation, which respects the limit.
     pub fn encode(&self) -> Bytes {
         assert!(self.payload.len() <= MAX_FRAGMENT_PAYLOAD);
-        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
-        buf.extend_from_slice(&[self.kind as u8]);
+        let traced = self.ctx.is_some();
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + CTX_LEN + self.payload.len());
+        buf.extend_from_slice(&[(WIRE_VERSION << 4) | self.kind as u8]);
         buf.extend_from_slice(&self.port.to_le_bytes());
         buf.extend_from_slice(&self.txn.to_le_bytes());
         buf.extend_from_slice(&self.frag_index.to_le_bytes());
         buf.extend_from_slice(&self.frag_count.to_le_bytes());
+        buf.extend_from_slice(&[if traced { FLAG_CTX } else { 0 }]);
         buf.extend_from_slice(&[0u8; 4]); // checksum placeholder
+        if traced {
+            buf.extend_from_slice(&self.ctx.trace_id.to_le_bytes());
+            buf.extend_from_slice(&self.ctx.span_id.to_le_bytes());
+            buf.extend_from_slice(&self.ctx.parent_id.to_le_bytes());
+        }
         buf.extend_from_slice(&self.payload);
         let sum = checksum(&[&buf]);
         buf[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&sum.to_le_bytes());
         buf.freeze()
     }
 
-    /// Parse from wire bytes; `None` on malformed or corrupted input.
+    /// Parse from wire bytes; `None` on malformed, corrupted or
+    /// version-mismatched input.
     pub fn decode(mut raw: Bytes) -> Option<Packet> {
         if raw.len() < HEADER_LEN {
             return None;
@@ -118,27 +157,54 @@ impl Packet {
         if stored != computed {
             return None; // bit rot in transit; the sender will retransmit
         }
+        if raw[0] >> 4 != WIRE_VERSION {
+            return None; // other wire versions refused, not misparsed
+        }
         let header = raw.split_to(HEADER_LEN);
-        let kind = PacketKind::from_u8(header[0])?;
+        let kind = PacketKind::from_u8(header[0] & 0x0F)?;
         let port = u16::from_le_bytes([header[1], header[2]]);
         let txn = u64::from_le_bytes(header[3..11].try_into().ok()?);
         let frag_index = u16::from_le_bytes([header[11], header[12]]);
         let frag_count = u16::from_le_bytes([header[13], header[14]]);
+        let flags = header[FLAGS_OFFSET];
         if frag_count == 0 || frag_index >= frag_count {
             return None;
         }
+        if flags & !FLAG_CTX != 0 {
+            return None; // unknown extension bits
+        }
+        let ctx = if flags & FLAG_CTX != 0 {
+            if raw.len() < CTX_LEN {
+                return None;
+            }
+            let ext = raw.split_to(CTX_LEN);
+            let ctx = SpanContext {
+                trace_id: u64::from_le_bytes(ext[0..8].try_into().ok()?),
+                span_id: u64::from_le_bytes(ext[8..16].try_into().ok()?),
+                parent_id: u64::from_le_bytes(ext[16..24].try_into().ok()?),
+            };
+            if !ctx.is_some() {
+                return None; // flagged extension must carry a real trace
+            }
+            ctx
+        } else {
+            SpanContext::NONE
+        };
         Some(Packet {
             kind,
             port,
             txn,
             frag_index,
             frag_count,
+            ctx,
             payload: raw,
         })
     }
 }
 
-/// Split a message into fragments ready for transmission.
+/// Split a message into fragments ready for transmission, each carrying
+/// `ctx` (every fragment repeats it so reassembly order cannot lose the
+/// trace).
 ///
 /// An empty message still produces one (empty) fragment so the receiver
 /// learns about the transaction.
@@ -146,8 +212,14 @@ impl Packet {
 /// # Panics
 ///
 /// Panics if the message would need more than `u16::MAX` fragments
-/// (≈97 MB), far beyond any Clouds transfer.
-pub fn fragment(kind: PacketKind, port: u16, txn: u64, message: Bytes) -> Vec<Packet> {
+/// (≈95 MB), far beyond any Clouds transfer.
+pub fn fragment(
+    kind: PacketKind,
+    port: u16,
+    txn: u64,
+    message: Bytes,
+    ctx: SpanContext,
+) -> Vec<Packet> {
     let frag_count = message.len().div_ceil(MAX_FRAGMENT_PAYLOAD).max(1);
     assert!(frag_count <= u16::MAX as usize, "message too large for RaTP");
     let mut out = Vec::with_capacity(frag_count);
@@ -160,6 +232,7 @@ pub fn fragment(kind: PacketKind, port: u16, txn: u64, message: Bytes) -> Vec<Pa
             txn,
             frag_index: i as u16,
             frag_count: frag_count as u16,
+            ctx,
             payload: message.slice(start..end),
         });
     }
@@ -216,6 +289,12 @@ impl Reassembly {
 mod tests {
     use super::*;
 
+    const CTX: SpanContext = SpanContext {
+        trace_id: 0x1111_2222_3333_4444,
+        span_id: 0x5555_6666_7777_8888,
+        parent_id: 0x9999_AAAA_BBBB_CCCC,
+    };
+
     #[test]
     fn encode_decode_roundtrip() {
         let p = Packet {
@@ -224,9 +303,27 @@ mod tests {
             txn: 0xDEADBEEF,
             frag_index: 2,
             frag_count: 5,
+            ctx: SpanContext::NONE,
             payload: Bytes::from_static(b"chunk"),
         };
         let decoded = Packet::decode(p.encode()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_with_span_context() {
+        let p = Packet {
+            kind: PacketKind::Request,
+            port: 42,
+            txn: 0xDEADBEEF,
+            frag_index: 2,
+            frag_count: 5,
+            ctx: CTX,
+            payload: Bytes::from_static(b"chunk"),
+        };
+        let wire = p.encode();
+        assert_eq!(wire.len(), HEADER_LEN + CTX_LEN + 5);
+        let decoded = Packet::decode(wire).unwrap();
         assert_eq!(decoded, p);
     }
 
@@ -244,12 +341,62 @@ mod tests {
             txn: 1,
             frag_index: 0,
             frag_count: 1,
+            ctx: SpanContext::NONE,
             payload: Bytes::new(),
         };
         let mut raw = p.encode().to_vec();
         raw[13] = 0;
         raw[14] = 0;
         assert!(Packet::decode(Bytes::from(raw)).is_none());
+    }
+
+    /// Rewrite byte 0 and repair the checksum, isolating the version /
+    /// flags checks from corruption detection.
+    fn with_patched_byte(wire: &[u8], offset: usize, value: u8) -> Bytes {
+        let mut raw = wire.to_vec();
+        raw[offset] = value;
+        raw[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&[0; 4]);
+        let sum = checksum(&[&raw]);
+        raw[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 4].copy_from_slice(&sum.to_le_bytes());
+        Bytes::from(raw)
+    }
+
+    #[test]
+    fn decode_rejects_other_wire_versions() {
+        let p = Packet {
+            kind: PacketKind::Request,
+            port: 1,
+            txn: 2,
+            frag_index: 0,
+            frag_count: 1,
+            ctx: SpanContext::NONE,
+            payload: Bytes::from_static(b"x"),
+        };
+        let wire = p.encode();
+        assert_eq!(wire[0] >> 4, WIRE_VERSION);
+        // A version-0 peer's kind byte (no version nibble).
+        assert!(Packet::decode(with_patched_byte(&wire, 0, PacketKind::Request as u8)).is_none());
+        // A hypothetical version-2 peer.
+        assert!(Packet::decode(with_patched_byte(&wire, 0, (2 << 4) | 1)).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_flags_and_truncated_ctx() {
+        let p = Packet {
+            kind: PacketKind::Request,
+            port: 1,
+            txn: 2,
+            frag_index: 0,
+            frag_count: 1,
+            ctx: SpanContext::NONE,
+            payload: Bytes::new(),
+        };
+        let wire = p.encode();
+        // Unknown extension bit.
+        assert!(Packet::decode(with_patched_byte(&wire, FLAGS_OFFSET, 0x02)).is_none());
+        // Context flag set but no context bytes follow (empty payload,
+        // so the frame is exactly HEADER_LEN).
+        assert!(Packet::decode(with_patched_byte(&wire, FLAGS_OFFSET, FLAG_CTX)).is_none());
     }
 
     #[test]
@@ -260,6 +407,7 @@ mod tests {
             txn: 0x0123_4567_89AB_CDEF,
             frag_index: 0,
             frag_count: 1,
+            ctx: CTX,
             payload: Bytes::from_static(b"payload under test"),
         };
         let wire = p.encode();
@@ -283,6 +431,7 @@ mod tests {
             txn: 3,
             frag_index: 0,
             frag_count: 1,
+            ctx: SpanContext::NONE,
             payload: Bytes::from_static(b"aaaa"),
         };
         let mut raw = a.encode().to_vec();
@@ -293,7 +442,7 @@ mod tests {
 
     #[test]
     fn fragment_empty_message() {
-        let frags = fragment(PacketKind::Request, 1, 7, Bytes::new());
+        let frags = fragment(PacketKind::Request, 1, 7, Bytes::new(), SpanContext::NONE);
         assert_eq!(frags.len(), 1);
         assert_eq!(frags[0].frag_count, 1);
         assert!(frags[0].payload.is_empty());
@@ -304,8 +453,11 @@ mod tests {
         let msg: Vec<u8> = (0..(3 * MAX_FRAGMENT_PAYLOAD + 17))
             .map(|i| (i % 256) as u8)
             .collect();
-        let mut frags = fragment(PacketKind::Reply, 0, 9, Bytes::from(msg.clone()));
+        let mut frags = fragment(PacketKind::Reply, 0, 9, Bytes::from(msg.clone()), CTX);
         assert_eq!(frags.len(), 4);
+        for f in &frags {
+            assert_eq!(f.ctx, CTX, "every fragment repeats the context");
+        }
         frags.reverse();
         let mut re = Reassembly::new(4);
         let mut result = None;
@@ -318,7 +470,7 @@ mod tests {
     #[test]
     fn reassembly_ignores_duplicates() {
         let msg = Bytes::from(vec![1u8; 2 * MAX_FRAGMENT_PAYLOAD]);
-        let frags = fragment(PacketKind::Reply, 0, 9, msg.clone());
+        let frags = fragment(PacketKind::Reply, 0, 9, msg.clone(), SpanContext::NONE);
         let mut re = Reassembly::new(2);
         assert!(re.insert(frags[0].clone()).is_none());
         assert!(re.insert(frags[0].clone()).is_none()); // dup
@@ -329,7 +481,7 @@ mod tests {
     #[test]
     fn reassembly_ignores_duplicate_after_completion() {
         let msg = Bytes::from_static(b"done");
-        let frags = fragment(PacketKind::Reply, 0, 9, msg);
+        let frags = fragment(PacketKind::Reply, 0, 9, msg, SpanContext::NONE);
         let mut re = Reassembly::new(1);
         assert!(re.insert(frags[0].clone()).is_some());
         // A straggling duplicate must be ignored, not panic.
@@ -339,7 +491,7 @@ mod tests {
     #[test]
     fn fragments_respect_mtu() {
         let msg = Bytes::from(vec![0u8; 50_000]);
-        for f in fragment(PacketKind::Request, 3, 11, msg) {
+        for f in fragment(PacketKind::Request, 3, 11, msg, CTX) {
             assert!(f.encode().len() <= MTU);
         }
     }

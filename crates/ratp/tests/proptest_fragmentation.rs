@@ -4,6 +4,7 @@
 //! arbitrary single-bit corruption.
 
 use bytes::Bytes;
+use clouds_obs::SpanContext;
 use clouds_ratp::{fragment, Packet, PacketKind, Reassembly, MAX_FRAGMENT_PAYLOAD};
 use proptest::prelude::*;
 
@@ -45,7 +46,12 @@ proptest! {
     ) {
         let mut mix = Mix(fill);
         let message: Vec<u8> = (0..len).map(|_| mix.next() as u8).collect();
-        let frags = fragment(PacketKind::Request, 9, 0xC0FFEE, Bytes::from(message.clone()));
+        let ctx = SpanContext {
+            trace_id: 0xABCD,
+            span_id: 0x1234,
+            parent_id: 7,
+        };
+        let frags = fragment(PacketKind::Request, 9, 0xC0FFEE, Bytes::from(message.clone()), ctx);
         prop_assert_eq!(
             frags.len(),
             len.div_ceil(MAX_FRAGMENT_PAYLOAD).max(1),
@@ -87,7 +93,12 @@ proptest! {
     ) {
         let mut mix = Mix(fill);
         let message: Vec<u8> = (0..len).map(|_| mix.next() as u8).collect();
-        let frags = fragment(PacketKind::Reply, 0, 0xFEED, Bytes::from(message));
+        let ctx = if seed % 2 == 0 {
+            SpanContext { trace_id: 3, span_id: 5, parent_id: 0 }
+        } else {
+            SpanContext::NONE
+        };
+        let frags = fragment(PacketKind::Reply, 0, 0xFEED, Bytes::from(message), ctx);
         let wire = frags[0].encode();
 
         let mut mix = Mix(seed);
@@ -105,7 +116,7 @@ proptest! {
     #[test]
     fn fragment_indices_are_dense_and_sized(len in 0usize..(4 * MAX_FRAGMENT_PAYLOAD)) {
         let message = Bytes::from(vec![0xA5u8; len]);
-        let frags = fragment(PacketKind::Request, 1, 2, message);
+        let frags = fragment(PacketKind::Request, 1, 2, message, SpanContext::NONE);
         let count = frags.len() as u16;
         let mut total = 0usize;
         for (i, f) in frags.iter().enumerate() {
