@@ -74,7 +74,6 @@ pub fn nfs_sim(net: &Network, total: usize) -> Vt {
     let blocks = total.div_ceil(1024);
     // Server replies with the block payload per request.
     let server = {
-        let total = total;
         std::thread::spawn(move || {
             // lookup + getattr.
             for _ in 0..2 {

@@ -11,6 +11,8 @@
 //! * `cargo bench` runs Criterion benches measuring the **wall-clock**
 //!   cost of the same code paths on the host machine.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod causal_exp;
 pub mod consistency_exp;

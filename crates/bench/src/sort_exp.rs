@@ -119,7 +119,7 @@ pub fn run_sort(workers: usize) -> SortPoint {
 ///
 /// As for [`run_sort`].
 pub fn run_sort_with_cost(workers: usize, cost: clouds_simnet::CostModel) -> SortPoint {
-    assert!(ELEMENTS % workers == 0, "chunks must be page-aligned");
+    assert!(ELEMENTS.is_multiple_of(workers), "chunks must be page-aligned");
     let cluster = Cluster::builder()
         .compute_servers(workers + 1)
         .data_servers(1)

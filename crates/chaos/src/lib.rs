@@ -26,6 +26,8 @@
 //! ([`ChaosConfig`]) and the real-time [`Pacer`] that drives schedule
 //! application forward even when a fault has stalled all traffic.
 
+#![forbid(unsafe_code)]
+
 use clouds_obs::{merged_registry_text, MetricsRegistry, TraceSink};
 use clouds_simnet::{FaultSchedule, Network, NodeId, Vt};
 use std::cell::RefCell;
@@ -144,6 +146,9 @@ impl Pacer {
                 while !thread_stop.load(Ordering::Acquire) && t < horizon.as_nanos() {
                     t = (t + step).min(horizon.as_nanos());
                     thread_net.advance_schedule_to(Vt::from_nanos(t));
+                    // lint:allow(wall-clock) — the pacer deliberately
+                    // burns real time to spread schedule application
+                    // across the run; it never feeds virtual time.
                     std::thread::sleep(tick);
                 }
             })
@@ -230,7 +235,7 @@ fn dump_flight_record(
         .iter()
         .map(|(node, reg)| (*node, reg.snapshot()))
         .collect();
-    std::fs::write(&dir.join("registry.txt"), merged_registry_text(&snapshots)).ok()?;
+    std::fs::write(dir.join("registry.txt"), merged_registry_text(&snapshots)).ok()?;
     let replay = format!(
         "workload: {name}\n\
          seed: {seed:#x}\n\
@@ -241,7 +246,7 @@ fn dump_flight_record(
         horizon.as_nanos() / 1_000_000,
         horizon.as_nanos() / 1_000_000,
     );
-    std::fs::write(&dir.join("replay.txt"), replay).ok()?;
+    std::fs::write(dir.join("replay.txt"), replay).ok()?;
     Some(dir)
 }
 

@@ -22,7 +22,7 @@ use clouds_ra::SysName;
 use clouds_ratp::{RatpNode, Request};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -107,7 +107,7 @@ enum LogState {
 /// The crash-surviving intent log of one participant.
 #[derive(Debug, Clone, Default)]
 struct CommitLog {
-    entries: Arc<Mutex<HashMap<u64, LogState>>>,
+    entries: Arc<Mutex<BTreeMap<u64, LogState>>>,
 }
 
 /// The durable transaction-outcome table hosted on the first data
@@ -115,7 +115,7 @@ struct CommitLog {
 /// crash like a disk).
 #[derive(Debug, Clone, Default)]
 pub struct OutcomeRegistry {
-    committed: Arc<Mutex<std::collections::HashSet<u64>>>,
+    committed: Arc<Mutex<std::collections::BTreeSet<u64>>>,
 }
 
 impl OutcomeRegistry {
@@ -255,16 +255,17 @@ impl CommitParticipant {
     ) -> (usize, usize) {
         let staged: Vec<(u64, Vec<PageImage>)> = {
             let mut log = self.log.entries.lock();
-            log.drain()
+            std::mem::take(&mut *log)
+                .into_iter()
                 .map(|(txn, LogState::Staged(pages))| (txn, pages))
                 .collect()
         };
         let mut installed = 0;
         let mut aborted = 0;
         for (txn, pages) in staged {
-            let verdict = if self.registry.is_some() {
+            let verdict = if let Some(registry) = self.registry.as_ref() {
                 // We host the registry: answer locally.
-                match self.registry.as_ref().expect("checked").outcome(txn) {
+                match registry.outcome(txn) {
                     TxnOutcome::Committed => CommitReply::Committed,
                     TxnOutcome::Unknown => CommitReply::Unknown,
                 }

@@ -83,6 +83,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod commit;
 mod hooks;
 mod runtime;

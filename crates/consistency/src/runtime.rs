@@ -8,7 +8,7 @@ use clouds::{CloudsError, Cluster, ComputeServer, OperationLabel};
 use clouds_dsm::ports;
 use clouds_ra::SysName;
 use clouds_simnet::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -252,7 +252,7 @@ impl ConsistencyRuntime {
     ) -> Result<(), CloudsError> {
         let txn = self.txn_counter.fetch_add(1, Ordering::Relaxed)
             | ((compute.node_id().0 as u64) << 48);
-        let mut by_server: HashMap<NodeId, Vec<PageImage>> = HashMap::new();
+        let mut by_server: BTreeMap<NodeId, Vec<PageImage>> = BTreeMap::new();
         for ((seg, page), data) in shadows {
             let home = compute
                 .dsm()
@@ -296,7 +296,7 @@ impl ConsistencyRuntime {
         &self,
         compute: &ComputeServer,
         txn: u64,
-        by_server: HashMap<NodeId, Vec<PageImage>>,
+        by_server: BTreeMap<NodeId, Vec<PageImage>>,
     ) -> Result<(), CloudsError> {
         let servers: Vec<NodeId> = by_server.keys().copied().collect();
         let obs = Arc::clone(compute.ratp().obs());

@@ -163,6 +163,7 @@ impl ClassRegistry {
 
     /// Names of all loaded classes.
     pub fn names(&self) -> Vec<String> {
+        // lint:allow(hash-iter) — sorted before returning.
         let mut names: Vec<String> = self.classes.read().keys().cloned().collect();
         names.sort();
         names

@@ -21,7 +21,7 @@
 use crate::error::CloudsError;
 use clouds_ra::SysName;
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -53,9 +53,9 @@ pub type ShadowPage = Vec<u8>;
 pub struct CpSession {
     owner: u64,
     hooks: Arc<dyn LockHooks>,
-    shadows: Mutex<HashMap<(SysName, u32), ShadowPage>>,
-    read_locked: Mutex<HashSet<SysName>>,
-    write_locked: Mutex<HashSet<SysName>>,
+    shadows: Mutex<BTreeMap<(SysName, u32), ShadowPage>>,
+    read_locked: Mutex<BTreeSet<SysName>>,
+    write_locked: Mutex<BTreeSet<SysName>>,
 }
 
 impl fmt::Debug for CpSession {
@@ -73,9 +73,9 @@ impl CpSession {
         Arc::new(CpSession {
             owner,
             hooks,
-            shadows: Mutex::new(HashMap::new()),
-            read_locked: Mutex::new(HashSet::new()),
-            write_locked: Mutex::new(HashSet::new()),
+            shadows: Mutex::new(BTreeMap::new()),
+            read_locked: Mutex::new(BTreeSet::new()),
+            write_locked: Mutex::new(BTreeSet::new()),
         })
     }
 
@@ -131,9 +131,9 @@ impl CpSession {
         f: impl FnOnce(&mut ShadowPage) -> R,
     ) -> Result<R, CloudsError> {
         let mut shadows = self.shadows.lock();
-        if !shadows.contains_key(&(seg, page)) {
+        if let std::collections::btree_map::Entry::Vacant(e) = shadows.entry((seg, page)) {
             let page_image = init()?;
-            shadows.insert((seg, page), page_image);
+            e.insert(page_image);
         }
         Ok(f(shadows.get_mut(&(seg, page)).expect("just inserted")))
     }
@@ -150,7 +150,7 @@ impl CpSession {
 
     /// Drain all shadow pages for commit processing.
     pub fn take_shadows(&self) -> Vec<((SysName, u32), ShadowPage)> {
-        self.shadows.lock().drain().collect()
+        std::mem::take(&mut *self.shadows.lock()).into_iter().collect()
     }
 
     /// Discard all shadow pages (abort).

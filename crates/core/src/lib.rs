@@ -71,6 +71,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod active;
 pub mod class;
 pub mod cluster;

@@ -27,7 +27,7 @@ pub const DATA_BASE: u64 = 0x1000_0000;
 /// Virtual base address of the persistent heap segment.
 pub const HEAP_BASE: u64 = 0x8000_0000;
 
-const HEAP_MAGIC: u64 = 0xC10D5_4EA9;
+const HEAP_MAGIC: u64 = 0x000C_10D5_4EA9;
 /// Heap header: magic, bump pointer, free-list head.
 const HEAP_HEADER: u64 = 24;
 /// Minimum allocation granule (must hold a free-list node).

@@ -17,7 +17,7 @@ use clouds_ra::{
 use clouds_ratp::{CallError, RatpNode, Request};
 use clouds_simnet::NodeId;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -575,7 +575,7 @@ impl Partition for DsmClientPartition {
                 ))
             })
             .collect();
-        let mut groups: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        let mut groups: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
         for (i, item) in items.iter().enumerate() {
             match self.resolve(item.seg) {
                 Ok(home) => groups.entry(home).or_default().push(i),

@@ -64,6 +64,8 @@
 //! assert_eq!(sb.read(0, 8).unwrap(), b"one copy");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod client;
 mod locks;
 pub mod proto;

@@ -109,6 +109,7 @@ impl LockState {
                 };
                 let readers_ok = self
                     .readers
+                    // lint:allow(hash-iter) — order-free ∀ predicate.
                     .keys()
                     .all(|&r| r == owner);
                 writer_ok && readers_ok
@@ -292,6 +293,8 @@ impl LockService {
     pub fn release_all(&self, owner: u64) -> u32 {
         let mut inner = self.inner.lock();
         let mut affected = 0;
+        // lint:allow(hash-iter) — retain mutates entries independently;
+        // visit order cannot be observed.
         inner.retain(|_, state| {
             let mut touched = false;
             if matches!(state.writer, Some((w, _)) if w == owner) {

@@ -278,6 +278,8 @@ impl DsmServer {
             },
             DsmRequest::DestroySegment { seg } => match self.store.destroy(seg) {
                 Ok(()) => {
+                    // lint:allow(hash-iter) — retain drops entries
+                    // independently; visit order cannot be observed.
                     self.directory.lock().pages.retain(|(s, _), _| *s != seg);
                     DsmReply::Ok
                 }

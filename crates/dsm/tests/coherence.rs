@@ -285,7 +285,7 @@ fn randomized_writers_converge_to_one_copy() {
         .unwrap();
     let spaces: Vec<AddressSpace> = clients.iter().map(|c| c.space(s, 4)).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let mut expected = vec![0u64; 4];
+    let mut expected = [0u64; 4];
     for step in 0..120 {
         let who = rng.gen_range(0..spaces.len());
         let page = rng.gen_range(0..4usize);
@@ -296,10 +296,10 @@ fn randomized_writers_converge_to_one_copy() {
         expected[page] = value;
     }
     for sp in &spaces {
-        for page in 0..4usize {
+        for (page, want) in expected.iter().enumerate() {
             assert_eq!(
                 sp.read_u64(page as u64 * PAGE_SIZE as u64).unwrap(),
-                expected[page],
+                *want,
                 "page {page}"
             );
         }

@@ -74,7 +74,7 @@ fn combined_faults_still_one_copy() {
     let mut expected = [0u64; 4];
     for step in 0..40u64 {
         let node = (step % 2) as usize;
-        let cell = (step % 4) as u64;
+        let cell = step % 4;
         let value = step * 7 + 1;
         spaces[node].write_u64(cell * 16, value).unwrap();
         expected[cell as usize] = value;

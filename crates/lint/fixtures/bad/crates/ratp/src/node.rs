@@ -1,0 +1,11 @@
+//! Fixture: the dispatch loop misses `PacketKind::Unhandled`.
+
+use crate::packet::PacketKind;
+
+pub fn dispatch(kind: PacketKind) -> &'static str {
+    match kind {
+        PacketKind::Request => "request",
+        PacketKind::Reply => "reply",
+        _ => "dropped on the floor",
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a wire enum with a variant nobody dispatches.
+
+pub enum PacketKind {
+    Request = 1,
+    Reply = 2,
+    Unhandled = 3,
+}

@@ -1,0 +1,18 @@
+//! Fixture: a "simulation" crate full of determinism violations.
+
+use std::sync::Mutex;
+
+pub fn wall_clock_everywhere() -> u64 {
+    let started = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    started.elapsed().as_nanos() as u64
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn std_lock(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap()
+}

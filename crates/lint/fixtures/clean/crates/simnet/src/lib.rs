@@ -1,0 +1,7 @@
+//! Fixture: a sim crate whose one wall-clock use carries a justified
+//! allow — the escape hatch must suppress the finding.
+
+pub fn pace() {
+    // lint:allow(wall-clock) — fixture: real-time pacing by design.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

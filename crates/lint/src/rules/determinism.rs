@@ -1,0 +1,124 @@
+//! Determinism rules.
+//!
+//! * `wall-clock` — in simulation crates (scheduled purely in virtual
+//!   time) any read of the OS clock or wall-clock sleep breaks the
+//!   byte-identical same-seed guarantee: ban `std::time::Instant`,
+//!   `SystemTime`, and `std::thread::sleep` in their `src/`.
+//! * `os-entropy` — OS randomness (`thread_rng`, `OsRng`,
+//!   `from_entropy`, `getrandom`, `rand::random`) is banned in *all*
+//!   library code: every random choice must derive from the run seed.
+//! * `std-sync-lock` — `std::sync::{Mutex, RwLock, Condvar}` are banned
+//!   in library code: the workspace standardizes on `parking_lot`
+//!   (no poisoning — a panicking IsiBa must not wedge every later
+//!   acquisition into an unwrap-on-poison decision) and the lock-order
+//!   rule only models one lock vocabulary.
+
+use crate::{path_chain_at, Finding, SourceFile};
+
+/// (rule, pattern, explanation). A pattern matches a `::`-joined path
+/// chain whose trailing segments equal it, e.g. `thread::sleep` matches
+/// `std::thread::sleep` and a `use std::thread;`-style `thread::sleep`.
+const WALL_CLOCK: &[(&str, &str)] = &[
+    ("time::Instant", "wall-clock type in a virtual-time crate"),
+    ("Instant::now", "wall-clock read in a virtual-time crate"),
+    ("time::SystemTime", "wall-clock type in a virtual-time crate"),
+    ("SystemTime::now", "wall-clock read in a virtual-time crate"),
+    ("thread::sleep", "wall-clock sleep in a virtual-time crate"),
+];
+
+const ENTROPY: &[(&str, &str)] = &[
+    ("thread_rng", "OS-seeded RNG; derive randomness from the run seed"),
+    ("OsRng", "OS entropy source; derive randomness from the run seed"),
+    ("from_entropy", "OS entropy source; derive randomness from the run seed"),
+    ("getrandom", "OS entropy source; derive randomness from the run seed"),
+    ("rand::random", "OS-seeded RNG; derive randomness from the run seed"),
+];
+
+const STD_SYNC: &[(&str, &str)] = &[
+    ("sync::Mutex", "use parking_lot::Mutex (no poisoning, lock-order analyzable)"),
+    ("sync::RwLock", "use parking_lot::RwLock (no poisoning, lock-order analyzable)"),
+    ("sync::Condvar", "use parking_lot::Condvar (pairs with parking_lot::Mutex)"),
+];
+
+pub fn check(files: &[SourceFile], cfg: &crate::Config, findings: &mut Vec<Finding>) {
+    for sf in files {
+        if !sf.info.is_src {
+            continue;
+        }
+        let in_sim = sf
+            .info
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| cfg.sim_crates.iter().any(|s| s == c));
+        let toks = &sf.runtime_tokens;
+        let mut i = 0;
+        while i < toks.len() {
+            let Some((chain, next)) = path_chain_at(toks, i) else {
+                i += 1;
+                continue;
+            };
+            let line = toks[i].line;
+            // `use std::sync::{Mutex, Arc}` — expand the group into
+            // virtual chains `std::sync::Mutex`, `std::sync::Arc`.
+            let mut chains = vec![chain.clone()];
+            if next + 1 < toks.len()
+                && matches!(toks[next].kind, crate::lexer::Tok::PathSep)
+                && toks[next + 1].kind.is_punct('{')
+            {
+                let mut j = next + 2;
+                let mut depth = 1;
+                while j < toks.len() && depth > 0 {
+                    match &toks[j].kind {
+                        crate::lexer::Tok::Punct('{') => depth += 1,
+                        crate::lexer::Tok::Punct('}') => depth -= 1,
+                        crate::lexer::Tok::Ident(id) => {
+                            let mut c = chain.clone();
+                            c.push(id.clone());
+                            chains.push(c);
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            for chain in &chains {
+                if in_sim {
+                    scan(chain, WALL_CLOCK, "wall-clock", sf, line, findings);
+                }
+                scan(chain, ENTROPY, "os-entropy", sf, line, findings);
+                scan(chain, STD_SYNC, "std-sync-lock", sf, line, findings);
+            }
+            i = next.max(i + 1);
+        }
+    }
+}
+
+fn scan(
+    chain: &[String],
+    patterns: &[(&str, &str)],
+    rule: &'static str,
+    sf: &SourceFile,
+    line: u32,
+    findings: &mut Vec<Finding>,
+) {
+    for (pat, why) in patterns {
+        let want: Vec<&str> = pat.split("::").collect();
+        let matched = if want.len() == 1 {
+            chain.iter().any(|s| s == want[0])
+        } else {
+            chain.len() >= want.len()
+                && chain
+                    .windows(want.len())
+                    .any(|w| w.iter().map(String::as_str).eq(want.iter().copied()))
+        };
+        if matched {
+            findings.push(Finding {
+                file: sf.info.rel.clone(),
+                line,
+                rule,
+                message: format!("`{}`: {}", chain.join("::"), why),
+            });
+            return; // one finding per chain is enough
+        }
+    }
+}

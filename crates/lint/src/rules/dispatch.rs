@@ -1,0 +1,175 @@
+//! `dispatch-arm` — protocol-enum conformance.
+//!
+//! RaTP's at-most-once contract (and DSM's coherence protocol on top of
+//! it) only holds if every wire-visible enum variant is actually
+//! handled: a variant added to `PacketKind` or `DsmRequest` without a
+//! dispatch arm silently falls into a `_ =>` reply (or worse, a
+//! panic) on live nodes. For each configured enum, every variant must
+//! appear as a match arm (`Enum::Variant … =>`, `|`-alternations
+//! included) in at least one of the configured handler files.
+
+use crate::lexer::{Tok, Token};
+use crate::{Config, Finding, SourceFile};
+
+pub fn check(files: &[SourceFile], cfg: &Config, findings: &mut Vec<Finding>) {
+    for spec in &cfg.dispatch {
+        let Some(def) = files.iter().find(|f| f.info.rel.ends_with(spec.def_suffix)) else {
+            // Enum's defining file isn't part of this tree (e.g. a
+            // fixture run that doesn't model this protocol): skip.
+            continue;
+        };
+        let variants = enum_variants(&def.lexed.tokens, spec.enum_name);
+        if variants.is_empty() {
+            continue;
+        }
+        let handlers: Vec<&SourceFile> = files
+            .iter()
+            .filter(|f| {
+                spec.handler_suffixes
+                    .iter()
+                    .any(|s| f.info.rel.ends_with(s))
+            })
+            .collect();
+        if handlers.is_empty() {
+            continue;
+        }
+        for (variant, def_line) in &variants {
+            let handled = handlers
+                .iter()
+                .any(|h| has_match_arm(&h.lexed.tokens, spec.enum_name, variant));
+            if !handled {
+                findings.push(Finding {
+                    file: def.info.rel.clone(),
+                    line: *def_line,
+                    rule: "dispatch-arm",
+                    message: format!(
+                        "`{}::{}` has no dispatch arm in {} — a wire-visible variant \
+                         nobody handles",
+                        spec.enum_name,
+                        variant,
+                        spec.handler_suffixes.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Variants of `enum name { … }`: first identifier of each variant at
+/// depth 1, skipping attributes and payload/discriminant tokens.
+fn enum_variants(toks: &[Token], name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind.is_ident("enum") && toks.get(i + 1).is_some_and(|t| t.kind.is_ident(name))
+        {
+            // Skip generics to `{`.
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].kind.is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 1i32;
+            j += 1;
+            let mut expect_variant = true;
+            while j < toks.len() && depth > 0 {
+                match &toks[j].kind {
+                    Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => {
+                        depth += 1;
+                    }
+                    Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => {
+                        depth -= 1;
+                    }
+                    Tok::Punct(',') if depth == 1 => expect_variant = true,
+                    Tok::Punct('#') if depth == 1
+                        // Attribute on the next variant; skip `[…]`.
+                        && toks.get(j + 1).is_some_and(|t| t.kind.is_punct('[')) => {
+                            let mut d = 0i32;
+                            j += 1;
+                            while j < toks.len() {
+                                match toks[j].kind {
+                                    Tok::Punct('[') => d += 1,
+                                    Tok::Punct(']') => {
+                                        d -= 1;
+                                        if d == 0 {
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                        }
+                    Tok::Ident(v) if depth == 1 && expect_variant => {
+                        out.push((v.clone(), toks[j].line));
+                        expect_variant = false;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return out;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when the token stream contains `Enum::Variant … =>` (with an
+/// optional `{…}`/`(…)` binding pattern and `|` alternations between).
+fn has_match_arm(toks: &[Token], enum_name: &str, variant: &str) -> bool {
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].kind.is_ident(enum_name)
+            && matches!(toks[i + 1].kind, Tok::PathSep)
+            && toks[i + 2].kind.is_ident(variant)
+        {
+            // Scan forward: skip one balanced `{…}` or `(…)` pattern,
+            // allow `|` alternation chains, stop at `=>` (found) or
+            // anything else (not an arm).
+            let mut j = i + 3;
+            loop {
+                match toks.get(j).map(|t| &t.kind) {
+                    Some(Tok::Punct('{')) | Some(Tok::Punct('(')) => {
+                        let open = if toks[j].kind.is_punct('{') { '{' } else { '(' };
+                        let close = if open == '{' { '}' } else { ')' };
+                        let mut d = 0i32;
+                        while j < toks.len() {
+                            if toks[j].kind.is_punct(open) {
+                                d += 1;
+                            } else if toks[j].kind.is_punct(close) {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    Some(Tok::Punct('|')) => {
+                        // Alternation: skip the next pattern path.
+                        j += 1;
+                        while j < toks.len()
+                            && (toks[j].kind.ident().is_some()
+                                || matches!(toks[j].kind, Tok::PathSep))
+                        {
+                            j += 1;
+                        }
+                    }
+                    // The variant may sit inside a wrapper pattern —
+                    // `Ok(RecallRequest::Reclaim { .. }) =>` — so closing
+                    // delimiters before the `=>` are fine to step over.
+                    Some(Tok::Punct(')')) => {
+                        j += 1;
+                    }
+                    Some(Tok::Punct('=')) if toks.get(j + 1).is_some_and(|t| t.kind.is_punct('>')) => {
+                        return true;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}

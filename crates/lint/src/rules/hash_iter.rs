@@ -1,0 +1,376 @@
+//! `hash-iter` — iteration over `HashMap`/`HashSet` in library code.
+//!
+//! `std`'s hash collections iterate in a per-instance, per-process
+//! random order (SipHash with a random key). In this codebase *any*
+//! iteration order can leak into canonical output: RPC fan-out order
+//! determines virtual-time billing and trace-event order, wire batches
+//! serialize in build order, and registry/trace dumps must be
+//! byte-identical across same-seed runs. So iterating a hash collection
+//! in `src/` is flagged wholesale; sites where order provably cannot
+//! matter (e.g. a commutative `max()` reduction) carry a
+//! `lint:allow(hash-iter)` with the proof in the comment, and
+//! everything else uses `BTreeMap`/`BTreeSet` or sorts first.
+//!
+//! Resolution is scoped: struct fields are collected file-wide, while
+//! `let` bindings and parameters are resolved per function (so a slice
+//! parameter named like a hash field doesn't false-positive). One level
+//! of guard aliasing is followed: `let g = self.field.lock()` marks `g`
+//! hash-typed when `field` is.
+
+use crate::lexer::{Tok, Token};
+use crate::{functions, Finding, SourceFile};
+use std::collections::BTreeMap;
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+const GUARD_METHODS: &[&str] = &["lock", "read", "write", "borrow", "borrow_mut"];
+
+pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for sf in files {
+        if !sf.info.is_src {
+            continue;
+        }
+        let toks = &sf.runtime_tokens;
+        let fields = struct_fields(toks);
+        for f in functions(toks) {
+            let locals = fn_locals(toks, &f, &fields);
+            scan_body(toks, f.body, &locals, &fields, sf, findings);
+        }
+    }
+}
+
+/// `struct X { name: Type, … }` fields, true = hash-typed.
+fn struct_fields(toks: &[Token]) -> BTreeMap<String, bool> {
+    let mut out = BTreeMap::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].kind.is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        // Skip name + generics to `{` (or `;`/`(` for unit/tuple structs).
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        while j < toks.len() {
+            match toks[j].kind {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Punct('{') if angle <= 0 => break,
+                Tok::Punct(';') | Tok::Punct('(') if angle <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.kind.is_punct('{')) {
+            i = j + 1;
+            continue;
+        }
+        // Fields at depth 1: `name :` followed by type tokens up to the
+        // `,` (or `}`) at depth 1.
+        let mut depth = 1i32;
+        j += 1;
+        while j < toks.len() && depth > 0 {
+            match &toks[j].kind {
+                Tok::Punct('{') | Tok::Punct('<') | Tok::Punct('(') => depth += 1,
+                Tok::Punct('}') | Tok::Punct('>') | Tok::Punct(')') => depth -= 1,
+                Tok::Ident(name)
+                    if depth == 1 && toks.get(j + 1).is_some_and(|t| t.kind.is_punct(':')) =>
+                {
+                    // Type tokens until `,` at depth 1.
+                    let mut k = j + 2;
+                    let mut d = 0i32;
+                    let mut hash = false;
+                    while k < toks.len() {
+                        match &toks[k].kind {
+                            Tok::Punct('<') | Tok::Punct('(') | Tok::Punct('[') => d += 1,
+                            Tok::Punct('>') | Tok::Punct(')') | Tok::Punct(']') => {
+                                if d == 0 {
+                                    break;
+                                }
+                                d -= 1;
+                            }
+                            Tok::Punct(',') if d == 0 => break,
+                            Tok::Punct('}') if d == 0 => break,
+                            Tok::Ident(t) if t == "HashMap" || t == "HashSet" => hash = true,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    out.insert(name.clone(), hash);
+                    j = k;
+                    continue;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Parameters and `let` bindings of one function, true = hash-typed.
+fn fn_locals(
+    toks: &[Token],
+    f: &crate::FnSpan,
+    fields: &BTreeMap<String, bool>,
+) -> BTreeMap<String, bool> {
+    let mut out = BTreeMap::new();
+    // Parameters: `name : type` pairs at comma depth 0.
+    let (ps, pe) = f.params;
+    let mut depth = 0i32;
+    let mut j = ps;
+    while j < pe.min(toks.len()) {
+        match &toks[j].kind {
+            Tok::Punct('<') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct('>') | Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            Tok::Ident(name)
+                if depth == 0
+                    && name != "self"
+                    && name != "mut"
+                    && toks.get(j + 1).is_some_and(|t| t.kind.is_punct(':')) =>
+            {
+                let mut k = j + 2;
+                let mut d = 0i32;
+                let mut hash = false;
+                while k < pe.min(toks.len()) {
+                    match &toks[k].kind {
+                        Tok::Punct('<') | Tok::Punct('(') | Tok::Punct('[') => d += 1,
+                        Tok::Punct('>') | Tok::Punct(')') | Tok::Punct(']') => {
+                            if d == 0 {
+                                break;
+                            }
+                            d -= 1;
+                        }
+                        Tok::Punct(',') if d == 0 => break,
+                        Tok::Ident(t) if t == "HashMap" || t == "HashSet" => hash = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                out.insert(name.clone(), hash);
+                j = k;
+                continue;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // `let [mut] name [: ty] = init ;` in the body, in order, so guard
+    // aliases can see earlier bindings.
+    let (bs, be) = f.body;
+    let mut i = bs;
+    while i < be.min(toks.len()) {
+        if !toks[i].kind.is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.kind.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(Tok::Ident(name)) = toks.get(j).map(|t| &t.kind) else {
+            i = j;
+            continue;
+        };
+        let name = name.clone();
+        let mut k = j + 1;
+        let mut hash: Option<bool> = None;
+        if toks.get(k).is_some_and(|t| t.kind.is_punct(':')) {
+            // Explicit annotation decides.
+            let mut d = 0i32;
+            let mut saw_hash = false;
+            k += 1;
+            while k < be.min(toks.len()) {
+                match &toks[k].kind {
+                    Tok::Punct('<') | Tok::Punct('(') | Tok::Punct('[') => d += 1,
+                    Tok::Punct('>') | Tok::Punct(')') | Tok::Punct(']') => d -= 1,
+                    Tok::Punct('=') | Tok::Punct(';') if d == 0 => break,
+                    Tok::Ident(t) if t == "HashMap" || t == "HashSet" => saw_hash = true,
+                    _ => {}
+                }
+                k += 1;
+            }
+            hash = Some(saw_hash);
+        }
+        let mut resume = k;
+        if toks.get(k).is_some_and(|t| t.kind.is_punct('=')) {
+            // Scan the initializer (to `;` at group depth 0).
+            let init_start = k + 1;
+            let mut d = 0i32;
+            k += 1;
+            let mut saw_hash = false;
+            while k < be.min(toks.len()) {
+                match &toks[k].kind {
+                    Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => d += 1,
+                    Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => d -= 1,
+                    Tok::Punct(';') if d == 0 => break,
+                    Tok::Ident(t) if t == "HashMap" || t == "HashSet" => saw_hash = true,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if hash.is_none() {
+                let aliased = guard_alias_of_hash(toks, init_start, k, &out, fields);
+                hash = Some(saw_hash || aliased);
+            }
+            // Resume INSIDE the initializer: a block initializer
+            // (`let x = { let inner = …; … };`) holds nested `let`s
+            // the outer scan must still visit.
+            resume = init_start;
+        }
+        out.insert(name, hash.unwrap_or(false));
+        i = resume;
+    }
+    out
+}
+
+/// True when init tokens contain `<hash-name> . guard_method (` — a
+/// lock/borrow guard over a hash collection.
+fn guard_alias_of_hash(
+    toks: &[Token],
+    start: usize,
+    end: usize,
+    locals: &BTreeMap<String, bool>,
+    fields: &BTreeMap<String, bool>,
+) -> bool {
+    let mut k = start;
+    while k + 3 < end.min(toks.len()) {
+        if let Tok::Ident(recv) = &toks[k].kind {
+            let is_hash = locals
+                .get(recv)
+                .copied()
+                .or_else(|| fields.get(recv).copied())
+                .unwrap_or(false);
+            if is_hash
+                && toks[k + 1].kind.is_punct('.')
+                && matches!(toks[k + 2].kind.ident(), Some(m) if GUARD_METHODS.contains(&m))
+                && toks[k + 3].kind.is_punct('(')
+            {
+                return true;
+            }
+        }
+        k += 1;
+    }
+    false
+}
+
+fn is_hash_at(
+    toks: &[Token],
+    i: usize,
+    name: &str,
+    locals: &BTreeMap<String, bool>,
+    fields: &BTreeMap<String, bool>,
+) -> bool {
+    let field_access = i > 0 && toks[i - 1].kind.is_punct('.');
+    if field_access {
+        fields.get(name).copied().unwrap_or(false)
+    } else {
+        locals
+            .get(name)
+            .copied()
+            .or_else(|| fields.get(name).copied())
+            .unwrap_or(false)
+    }
+}
+
+fn scan_body(
+    toks: &[Token],
+    (bs, be): (usize, usize),
+    locals: &BTreeMap<String, bool>,
+    fields: &BTreeMap<String, bool>,
+    sf: &SourceFile,
+    findings: &mut Vec<Finding>,
+) {
+    let end = be.min(toks.len());
+    for i in bs..end {
+        if let Tok::Ident(name) = &toks[i].kind {
+            if is_hash_at(toks, i, name, locals, fields) {
+                if let Some((meth, line)) = iterating_method(toks, i) {
+                    findings.push(Finding {
+                        file: sf.info.rel.clone(),
+                        line,
+                        rule: "hash-iter",
+                        message: format!(
+                            "`{name}.{meth}()` iterates a hash collection: order is \
+                             per-process random and can reach canonical/wire/trace output \
+                             — use BTreeMap/BTreeSet, sort first, or justify with \
+                             lint:allow(hash-iter)"
+                        ),
+                    });
+                }
+            }
+        }
+        // `for pat in <expr ending in name> {`
+        if toks[i].kind.is_ident("for") {
+            // Find the loop `{` at group depth 0.
+            let mut j = i + 1;
+            let mut d = 0i32;
+            while j < end {
+                match toks[j].kind {
+                    Tok::Punct('(') | Tok::Punct('[') => d += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => d -= 1,
+                    Tok::Punct('{') if d == 0 => break,
+                    Tok::Punct(';') if d == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < end && toks[j].kind.is_punct('{') && j > i + 1 {
+                if let Tok::Ident(name) = &toks[j - 1].kind {
+                    if is_hash_at(toks, j - 1, name, locals, fields) {
+                        findings.push(Finding {
+                            file: sf.info.rel.clone(),
+                            line: toks[j - 1].line,
+                            rule: "hash-iter",
+                            message: format!(
+                                "`for … in {name}` iterates a hash collection: order is \
+                                 per-process random and can reach canonical/wire/trace \
+                                 output — use BTreeMap/BTreeSet, sort first, or justify \
+                                 with lint:allow(hash-iter)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// From a hash-typed name at `i`, look for `.lock()?.meth(` with an
+/// iterating `meth`; returns (method, line).
+fn iterating_method(toks: &[Token], i: usize) -> Option<(String, u32)> {
+    let mut j = i + 1;
+    // Skip up to two interposed guard-taking calls (`.lock()`, `.read()`…).
+    for _ in 0..2 {
+        if toks.get(j).is_some_and(|t| t.kind.is_punct('.'))
+            && matches!(
+                toks.get(j + 1).and_then(|t| t.kind.ident()),
+                Some(m) if GUARD_METHODS.contains(&m)
+            )
+            && toks.get(j + 2).is_some_and(|t| t.kind.is_punct('('))
+            && toks.get(j + 3).is_some_and(|t| t.kind.is_punct(')'))
+        {
+            j += 4;
+        }
+    }
+    if !toks.get(j).is_some_and(|t| t.kind.is_punct('.')) {
+        return None;
+    }
+    let meth = toks.get(j + 1).and_then(|t| t.kind.ident())?;
+    if ITER_METHODS.contains(&meth) && toks.get(j + 2).is_some_and(|t| t.kind.is_punct('(')) {
+        return Some((meth.to_string(), toks[j + 1].line));
+    }
+    None
+}

@@ -1,0 +1,517 @@
+//! `lock-order` — static AB/BA deadlock detection.
+//!
+//! Per function, every `.lock()` / `.read()` / `.write()` (empty-arg,
+//! the `parking_lot` vocabulary) is recorded together with how long its
+//! guard plausibly lives: `let`-bound guards to the end of the
+//! enclosing block, `match`/`if`/`while` scrutinee guards to the end of
+//! the construct, bare temporaries to the end of the statement, and
+//! `drop(g)` releases a named guard early. Acquiring `b` while `a` is
+//! held contributes the edge `a → b`; calls made while holding `a` pull
+//! in the (fixpoint, name-matched) transitive lock summary of every
+//! same-named function in the workspace. A cycle in the resulting
+//! global graph is a schedule in which two IsiBas can block each other
+//! forever, and is reported with a witness path.
+//!
+//! Keys are `Type.field` when the receiver is a `self` path inside an
+//! `impl` block, else the receiver's last identifier. The analysis is
+//! deliberately approximate (see ARCHITECTURE.md): consistent naming
+//! merges distinct locks conservatively, and `lint:allow(lock-order)`
+//! on a witness line documents a cycle that cannot be scheduled.
+
+use crate::lexer::{Tok, Token};
+use crate::{functions, Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "fn",
+    "move", "in", "as", "ref", "mut", "where", "impl", "dyn", "unsafe", "async", "await", "Some",
+    "None", "Ok", "Err", "Box", "Vec", "String", "Arc", "Rc",
+];
+
+/// Method names so ubiquitous (std trait impls, accessors) that
+/// name-matching them to workspace functions is pure noise: a call to
+/// `x.len()` must not pull in the lock summary of every `fn len` in
+/// the tree. Such leaf accessors still contribute their own direct
+/// facts when analyzed as definitions.
+const CALL_STOPLIST: &[&str] = &[
+    "len",
+    "is_empty",
+    "fmt",
+    "clone",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "next",
+    "default",
+    "to_string",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "deref",
+    "deref_mut",
+    "index",
+    "from",
+    "into",
+    "drop",
+    "new",
+    "finish",
+    // Collection/accessor vocabulary: `.get(`/`.insert(`/… on a plain
+    // HashMap would otherwise name-match same-named workspace methods
+    // (SegmentStore::get, Counter::inc, …) and fabricate edges.
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "clear",
+    "entry",
+    "inc",
+    "observe",
+    // Atomics vocabulary: `now_ns.load(…)` must not match `ObjectMeta::load`.
+    "load",
+    "store",
+    // Channel vocabulary: `tx.send(…)`/`rx.recv()` must not match
+    // `Endpoint::send` and friends.
+    "send",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GuardKind {
+    /// Released at the next `;` at acquisition depth.
+    Stmt,
+    /// Released when brace depth drops below `depth`.
+    Block,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    key: String,
+    kind: GuardKind,
+    depth: i32,
+    /// `let` binding name, for `drop(name)` release.
+    bound: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: u32,
+    via: String,
+}
+
+#[derive(Debug, Default)]
+struct FnFacts {
+    /// File the function lives in.
+    file: String,
+    /// Lock keys acquired directly in this function.
+    direct: BTreeSet<String>,
+    /// (callee simple name, held keys at the call, line).
+    calls: Vec<(String, Vec<String>, u32)>,
+    /// Intra-function held→acquired edges.
+    edges: Vec<Edge>,
+}
+
+pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    // ---- per-function extraction --------------------------------------
+    let mut facts: Vec<(String, FnFacts)> = Vec::new(); // (fn simple name, facts)
+    for sf in files {
+        if !sf.info.is_src {
+            continue;
+        }
+        let toks = &sf.runtime_tokens;
+        for f in functions(toks) {
+            let ff = extract(toks, &f, &sf.info.rel);
+            facts.push((f.name.clone(), ff));
+        }
+    }
+
+    // ---- transitive lock summaries over the name-matched call graph ---
+    let mut summary: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (name, ff) in &facts {
+        summary.entry(name.clone()).or_default().extend(ff.direct.iter().cloned());
+    }
+    loop {
+        let mut changed = false;
+        for (name, ff) in &facts {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for (callee, _, _) in &ff.calls {
+                if let Some(s) = summary.get(callee) {
+                    add.extend(s.iter().cloned());
+                }
+            }
+            let s = summary.entry(name.clone()).or_default();
+            let before = s.len();
+            s.extend(add);
+            if s.len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // ---- assemble the global edge set ---------------------------------
+    let mut edges: Vec<Edge> = Vec::new();
+    for (name, ff) in &facts {
+        edges.extend(ff.edges.iter().cloned());
+        for (callee, held, line) in &ff.calls {
+            let Some(acq) = summary.get(callee) else { continue };
+            for h in held {
+                for k in acq {
+                    if h == k {
+                        // Cross-function self-edges are dominated by the
+                        // name-matching approximation; skip them.
+                        continue;
+                    }
+                    edges.push(Edge {
+                        from: h.clone(),
+                        to: k.clone(),
+                        file: ff.file.clone(),
+                        line: *line,
+                        via: format!("{h} held in {name}() across call to {callee}() which may acquire {k}"),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- direct self-edges (reacquire while held, same function) ------
+    for e in &edges {
+        if e.from == e.to && !e.via.contains("across call") {
+            findings.push(Finding {
+                file: e.file.clone(),
+                line: e.line,
+                rule: "lock-order",
+                message: format!(
+                    "`{}` acquired while already held in the same function — \
+                     self-deadlock with a non-reentrant lock",
+                    e.from
+                ),
+            });
+        }
+    }
+
+    // ---- cycle detection (Tarjan SCC over distinct keys) --------------
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in &edges {
+        if e.from != e.to {
+            adj.entry(e.from.as_str()).or_default().push(e);
+        }
+    }
+    let sccs = tarjan(&adj);
+    for scc in sccs {
+        if scc.len() < 2 {
+            continue;
+        }
+        if let Some(cycle) = witness_cycle(&adj, &scc) {
+            let desc: Vec<String> = cycle
+                .iter()
+                .map(|e| format!("{} → {} [{}:{} {}]", e.from, e.to, e.file, e.line, e.via))
+                .collect();
+            let first = cycle[0];
+            findings.push(Finding {
+                file: first.file.clone(),
+                line: first.line,
+                rule: "lock-order",
+                message: format!("lock-order cycle: {}", desc.join("; ")),
+            });
+        }
+    }
+}
+
+/// Extract lock facts from one function body.
+fn extract(toks: &[Token], f: &crate::FnSpan, file: &str) -> FnFacts {
+    let mut ff = FnFacts {
+        file: file.to_string(),
+        ..FnFacts::default()
+    };
+    let (bs, be) = f.body;
+    let end = be.min(toks.len());
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32; // brace depth relative to body start
+
+    let mut i = bs;
+    while i < end {
+        match &toks[i].kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            // `;` ends a statement; `,` ends a match arm (and, as a
+            // conservative side effect, an argument position — losing a
+            // same-statement edge, never inventing one).
+            Tok::Punct(';') | Tok::Punct(',') => {
+                guards.retain(|g| !(g.kind == GuardKind::Stmt && g.depth >= depth));
+            }
+            // `drop(name)` releases a let-bound guard early.
+            Tok::Ident(id) if id == "drop" && toks.get(i + 1).is_some_and(|t| t.kind.is_punct('(')) => {
+                if let Some(Tok::Ident(arg)) = toks.get(i + 2).map(|t| &t.kind) {
+                    if toks.get(i + 3).is_some_and(|t| t.kind.is_punct(')')) {
+                        guards.retain(|g| g.bound.as_deref() != Some(arg.as_str()));
+                    }
+                }
+            }
+            // Acquisition: `<chain> . lock|read|write ( )`
+            Tok::Punct('.')
+                if matches!(
+                    toks.get(i + 1).and_then(|t| t.kind.ident()),
+                    Some("lock" | "read" | "write")
+                ) && toks.get(i + 2).is_some_and(|t| t.kind.is_punct('('))
+                    && toks.get(i + 3).is_some_and(|t| t.kind.is_punct(')')) =>
+            {
+                let line = toks[i + 1].line;
+                if let Some((key, chain_start)) = receiver_key(toks, i, f) {
+                    for g in &guards {
+                        ff.edges.push(Edge {
+                            from: g.key.clone(),
+                            to: key.clone(),
+                            file: file.to_string(),
+                            line,
+                            via: format!("in {}()", f.name),
+                        });
+                    }
+                    ff.direct.insert(key.clone());
+                    // `m.lock().remove(x)` — the chain continuing past
+                    // the guard call means the guard is a temporary:
+                    // a `let` binds the chain's *result*, not the guard.
+                    let chained = toks.get(i + 4).is_some_and(|t| t.kind.is_punct('.'));
+                    let (kind, gdepth, bound) =
+                        binding_of(toks, chain_start, bs, depth, chained);
+                    guards.push(Guard {
+                        key,
+                        kind,
+                        depth: gdepth,
+                        bound,
+                    });
+                }
+                i += 4;
+                continue;
+            }
+            // Call site: `name (` — not a method-definition, macro, or
+            // constructor.
+            Tok::Ident(id)
+                if toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
+                    && !KEYWORDS.contains(&id.as_str())
+                    && !CALL_STOPLIST.contains(&id.as_str())
+                    && id.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+                    && !(i > 0 && toks[i - 1].kind.is_ident("fn")) =>
+            {
+                let held: Vec<String> = guards.iter().map(|g| g.key.clone()).collect();
+                ff.calls.push((id.clone(), held, toks[i].line));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    ff
+}
+
+/// Key the receiver chain ending at the `.` before lock/read/write.
+/// Returns (key, index of the chain's first token).
+fn receiver_key(toks: &[Token], dot: usize, f: &crate::FnSpan) -> Option<(String, usize)> {
+    // Walk back over `ident ( . ident )*`, tolerating interposed `()`
+    // for calls like `.as_ref()` is NOT attempted: a `)` aborts.
+    let mut idx = dot;
+    let mut chain: Vec<String> = Vec::new();
+    loop {
+        if idx == 0 {
+            break;
+        }
+        let prev = &toks[idx - 1];
+        match &prev.kind {
+            Tok::Ident(id) => {
+                chain.push(id.clone());
+                idx -= 1;
+                // Continue only over a further `.`
+                if idx > 0 && toks[idx - 1].kind.is_punct('.') {
+                    idx -= 1;
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    if chain.is_empty() {
+        return None;
+    }
+    chain.reverse();
+    let key = if chain[0] == "self" && chain.len() >= 2 {
+        match &f.impl_type {
+            Some(t) => format!("{t}.{}", chain.last().unwrap()),
+            None => chain.last().unwrap().clone(),
+        }
+    } else {
+        chain.last().unwrap().clone()
+    };
+    Some((key, idx))
+}
+
+/// How long does the guard acquired by the expression starting at
+/// `chain_start` live? Scans the statement prefix (back to the nearest
+/// `;`/`{`/`}`) for, in priority order: a `match`/`if`/`while`
+/// scrutinee position (guard lives for the construct's block — Rust
+/// extends scrutinee temporaries, which is exactly the
+/// `if let Some(x) = m.lock().get(…)` deadlock footgun), a `let … =`
+/// binding (guard lives to end of the enclosing block — but only when
+/// the `let` binds the guard itself, i.e. `chained` is false), or
+/// anything else (temporary: dies at end of statement).
+fn binding_of(
+    toks: &[Token],
+    chain_start: usize,
+    body_start: usize,
+    depth: i32,
+    chained: bool,
+) -> (GuardKind, i32, Option<String>) {
+    let lo = chain_start.saturating_sub(16).max(body_start);
+    let mut saw_eq = false;
+    let mut let_name: Option<String> = None;
+    let mut j = chain_start;
+    while j > lo {
+        j -= 1;
+        match &toks[j].kind {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+            Tok::Ident(id) if id == "match" || id == "while" || id == "if" => {
+                return (GuardKind::Block, depth + 1, None);
+            }
+            Tok::Punct('=') if !saw_eq => {
+                saw_eq = true;
+                if j >= 1 {
+                    if let Tok::Ident(name) = &toks[j - 1].kind {
+                        let mut k = j - 1;
+                        if k > 0 && toks[k - 1].kind.is_ident("mut") {
+                            k -= 1;
+                        }
+                        if k > 0 && toks[k - 1].kind.is_ident("let") {
+                            let_name = Some(name.clone());
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    match let_name {
+        Some(name) if !chained => (GuardKind::Block, depth, Some(name)),
+        _ => (GuardKind::Stmt, depth, None),
+    }
+}
+
+/// Tarjan strongly-connected components over the lock graph.
+fn tarjan<'a>(adj: &BTreeMap<&'a str, Vec<&'a Edge>>) -> Vec<Vec<&'a str>> {
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (n, es) in adj {
+        nodes.insert(n);
+        for e in es {
+            nodes.insert(e.to.as_str());
+        }
+    }
+    #[derive(Default, Clone)]
+    struct NodeState {
+        index: Option<usize>,
+        lowlink: usize,
+        on_stack: bool,
+    }
+    let idx_of: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let node_list: Vec<&str> = nodes.iter().copied().collect();
+    let mut state = vec![NodeState::default(); node_list.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<&str>> = Vec::new();
+
+    // Iterative Tarjan (explicit work stack: (node, child-cursor)).
+    for start in 0..node_list.len() {
+        if state[start].index.is_some() {
+            continue;
+        }
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, cursor)) = work.last() {
+            if cursor == 0 && state[v].index.is_none() {
+                state[v].index = Some(next_index);
+                state[v].lowlink = next_index;
+                next_index += 1;
+                stack.push(v);
+                state[v].on_stack = true;
+            }
+            let succs: Vec<usize> = adj
+                .get(node_list[v])
+                .map(|es| es.iter().map(|e| idx_of[e.to.as_str()]).collect())
+                .unwrap_or_default();
+            if cursor < succs.len() {
+                work.last_mut().expect("non-empty").1 += 1;
+                let w = succs[cursor];
+                if state[w].index.is_none() {
+                    work.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index.unwrap());
+                }
+            } else {
+                work.pop();
+                if let Some(&(p, _)) = work.last() {
+                    let vl = state[v].lowlink;
+                    state[p].lowlink = state[p].lowlink.min(vl);
+                }
+                if state[v].lowlink == state[v].index.unwrap() {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        state[w].on_stack = false;
+                        comp.push(node_list[w]);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reconstruct one concrete cycle inside an SCC for the report.
+fn witness_cycle<'a>(
+    adj: &'a BTreeMap<&'a str, Vec<&'a Edge>>,
+    scc: &[&'a str],
+) -> Option<Vec<&'a Edge>> {
+    let inside: BTreeSet<&str> = scc.iter().copied().collect();
+    let start = *scc.iter().min()?;
+    // BFS from `start` back to `start` staying inside the SCC.
+    let mut prev: BTreeMap<&str, &Edge> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for &e in adj.get(n).into_iter().flatten() {
+            let to = e.to.as_str();
+            if !inside.contains(to) {
+                continue;
+            }
+            if to == start {
+                // Unwind.
+                let mut path = vec![e];
+                let mut cur = n;
+                while cur != start {
+                    let pe = *prev.get(cur)?;
+                    path.push(pe);
+                    cur = pe.from.as_str();
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if !prev.contains_key(to) {
+                prev.insert(to, e);
+                queue.push_back(to);
+            }
+        }
+    }
+    None
+}

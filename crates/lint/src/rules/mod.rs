@@ -1,0 +1,8 @@
+//! Lint rules. Each module exposes `check(...)` appending [`Finding`]s;
+//! suppression and sorting happen centrally in [`crate::run`].
+
+pub mod determinism;
+pub mod dispatch;
+pub mod hash_iter;
+pub mod locks;
+pub mod obs_schema;

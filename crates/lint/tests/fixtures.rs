@@ -1,0 +1,126 @@
+//! End-to-end runs over the seeded fixture trees, plus a self-check on
+//! the real workspace.
+
+use clouds_lint::{render_json, run, Config};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+fn rules_of(findings: &[clouds_lint::Finding]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn bad_fixture_trips_every_rule() {
+    let findings = run(&fixture("bad"), &Config::clouds()).expect("fixture run");
+    let rules = rules_of(&findings);
+    for expected in [
+        "wall-clock",
+        "os-entropy",
+        "std-sync-lock",
+        "hash-iter",
+        "lock-order",
+        "dispatch-arm",
+        "obs-schema",
+    ] {
+        assert!(
+            rules.contains(&expected),
+            "rule {expected} not triggered; findings: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_lock_cycle_names_both_locks() {
+    let findings = run(&fixture("bad"), &Config::clouds()).expect("fixture run");
+    let cycle = findings
+        .iter()
+        .find(|f| f.rule == "lock-order" && f.message.contains("cycle"))
+        .expect("lock-order cycle finding");
+    assert!(
+        cycle.message.contains("Table.accounts") && cycle.message.contains("Table.audit"),
+        "cycle should name both locks with their impl type: {}",
+        cycle.message
+    );
+}
+
+#[test]
+fn bad_fixture_dispatch_names_missing_variant() {
+    let findings = run(&fixture("bad"), &Config::clouds()).expect("fixture run");
+    let arm = findings
+        .iter()
+        .find(|f| f.rule == "dispatch-arm")
+        .expect("dispatch-arm finding");
+    assert!(
+        arm.message.contains("PacketKind::Unhandled"),
+        "should name the unhandled variant: {}",
+        arm.message
+    );
+    // The handled variants must NOT be reported.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == "dispatch-arm" && f.message.contains("PacketKind::Request")),
+        "handled variant falsely reported"
+    );
+}
+
+#[test]
+fn bad_fixture_obs_schema_both_directions() {
+    let findings = run(&fixture("bad"), &Config::clouds()).expect("fixture run");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "obs-schema" && f.message.contains("bogus.metric")),
+        "unregistered metric not reported"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "obs-schema" && f.message.contains("stale.metric")),
+        "stale manifest entry not reported"
+    );
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let findings = run(&fixture("clean"), &Config::clouds()).expect("fixture run");
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:#?}");
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let findings = run(root, &Config::clouds()).expect("workspace run");
+    assert!(findings.is_empty(), "workspace not lint-clean: {findings:#?}");
+}
+
+#[test]
+fn json_output_is_stable_and_sorted() {
+    let findings = run(&fixture("bad"), &Config::clouds()).expect("fixture run");
+    let json = render_json(&findings);
+    assert!(json.starts_with("{\"version\":1,\"findings\":["));
+    assert!(json.ends_with("]}\n"));
+    // Deterministic: a second run renders byte-identically.
+    let again = render_json(&run(&fixture("bad"), &Config::clouds()).expect("rerun"));
+    assert_eq!(json, again);
+    // Sorted by (file, line, rule).
+    let mut keys: Vec<(&str, u32, &str)> = findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule))
+        .collect();
+    let sorted = {
+        let mut s = keys.clone();
+        s.sort();
+        s
+    };
+    assert_eq!(keys, sorted);
+    keys.clear();
+}

@@ -31,6 +31,8 @@
 //! assert_eq!(names.lookup("Rect01").unwrap(), rect01);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use clouds_ra::SysName;
 use clouds_ratp::{CallError, RatpNode, Request};
 use clouds_simnet::NodeId;
@@ -157,11 +159,11 @@ impl NameServer {
         match req {
             NameRequest::Register { name, sysname } => {
                 let mut b = self.bindings.write();
-                if b.contains_key(&name) {
-                    NameReply::AlreadyBound
-                } else {
-                    b.insert(name, sysname);
+                if let std::collections::btree_map::Entry::Vacant(e) = b.entry(name) {
+                    e.insert(sysname);
                     NameReply::Ok
+                } else {
+                    NameReply::AlreadyBound
                 }
             }
             NameRequest::Lookup { name } => match self.bindings.read().get(&name) {

@@ -231,8 +231,7 @@ impl TraceTree {
     pub fn critical_path(&self, root: u64) -> Vec<PathStep> {
         let mut path = Vec::new();
         let mut cur = root;
-        loop {
-            let Some(ev) = self.spans.get(&cur) else { break };
+        while let Some(ev) = self.spans.get(&cur) {
             let next = self
                 .children
                 .get(&cur)

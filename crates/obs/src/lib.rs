@@ -28,6 +28,8 @@
 //! No external dependencies and no wall-clock reads: the crate is pure
 //! bookkeeping over `clouds-simnet`'s virtual time.
 
+#![forbid(unsafe_code)]
+
 use clouds_simnet::{VirtualClock, Vt};
 use parking_lot::Mutex;
 use std::cell::RefCell;
@@ -557,10 +559,9 @@ pub struct HistogramSummary {
 impl HistogramSummary {
     /// Mean sample value ([`Vt::ZERO`] when empty).
     pub fn mean(&self) -> Vt {
-        if self.count == 0 {
-            Vt::ZERO
-        } else {
-            Vt::from_nanos(self.sum.as_nanos() / self.count)
+        match self.sum.as_nanos().checked_div(self.count) {
+            Some(mean) => Vt::from_nanos(mean),
+            None => Vt::ZERO,
         }
     }
 }

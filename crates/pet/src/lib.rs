@@ -77,6 +77,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod replica;
 mod resilient;
 

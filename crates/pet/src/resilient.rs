@@ -67,11 +67,15 @@ impl fmt::Display for PetOutcome {
     }
 }
 
+/// What one PET produced: its return bytes plus the shadow pages it
+/// wrote, keyed by (segment, page).
+type PetUpdates = Result<(Vec<u8>, Vec<((SysName, u32), Vec<u8>)>), CloudsError>;
+
 struct PetResult {
     pet: usize,
     replica: usize,
     compute: ComputeServer,
-    outcome: Result<(Vec<u8>, Vec<((SysName, u32), Vec<u8>)>), CloudsError>,
+    outcome: PetUpdates,
 }
 
 /// Run `entry(args)` on a replicated object as a resilient computation.

@@ -51,6 +51,8 @@
 //! assert_eq!(space.read(0x1000, 11).unwrap(), b"persistent!");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod kernel;
 mod partition;

@@ -504,6 +504,7 @@ impl PageCache {
     ) -> Option<((SysName, u32), Frame, bool)> {
         let resident = inner
             .slots
+            // lint:allow(hash-iter) — commutative count.
             .values()
             .filter(|s| matches!(s, Slot::Present { .. }))
             .count();
@@ -627,14 +628,17 @@ impl PageCache {
         let mut detached: Vec<((SysName, u32), Frame)> = Vec::new();
         {
             let mut inner = self.inner.lock();
-            let dirty_keys: Vec<(SysName, u32)> = inner
+            let mut dirty_keys: Vec<(SysName, u32)> = inner
                 .slots
+                // lint:allow(hash-iter) — sorted below, so write-back
+                // order is (seg, page) order regardless of table layout.
                 .iter()
                 .filter_map(|(key, slot)| match slot {
                     Slot::Present { frame, .. } if frame.dirty => Some(*key),
                     _ => None,
                 })
                 .collect();
+            dirty_keys.sort();
             for key in dirty_keys {
                 let Some(Slot::Present { frame, .. }) = inner.slots.remove(&key) else {
                     unreachable!("selected above under the same lock")
@@ -700,6 +704,7 @@ impl PageCache {
         }
         let resident = inner
             .slots
+            // lint:allow(hash-iter) — commutative count.
             .values()
             .filter(|s| matches!(s, Slot::Present { .. }))
             .count();
@@ -739,6 +744,7 @@ impl PageCache {
         self.inner
             .lock()
             .slots
+            // lint:allow(hash-iter) — commutative count.
             .values()
             .filter(|s| matches!(s, Slot::Present { .. }))
             .count()

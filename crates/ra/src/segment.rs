@@ -264,9 +264,12 @@ impl SegmentStore {
         self.segments.read().is_empty()
     }
 
-    /// Sysnames of all stored segments.
+    /// Sysnames of all stored segments, in sysname order.
     pub fn names(&self) -> Vec<SysName> {
-        self.segments.read().keys().copied().collect()
+        // lint:allow(hash-iter) — sorted before returning.
+        let mut names: Vec<SysName> = self.segments.read().keys().copied().collect();
+        names.sort();
+        names
     }
 }
 

@@ -37,6 +37,8 @@
 //! assert_eq!(&reply[..], b"hello");
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod node;
 mod packet;
 

@@ -40,6 +40,8 @@
 //! assert!(b.clock().now().as_nanos() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod cost;
 mod fault;
 mod frame;

@@ -12,7 +12,7 @@ use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -98,7 +98,7 @@ struct NetInner {
     schedule: Mutex<ScheduleState>,
     /// Frames held back by reorder faults, per destination; they are
     /// released after the next normally-delivered frame to that node.
-    limbo: Mutex<HashMap<NodeId, Vec<Frame>>>,
+    limbo: Mutex<BTreeMap<NodeId, Vec<Frame>>>,
 }
 
 /// Handle to the simulated network; cheap to clone.
@@ -136,7 +136,7 @@ impl Network {
                 stats: Stats::default(),
                 seq: AtomicU64::new(0),
                 schedule: Mutex::new(ScheduleState::default()),
-                limbo: Mutex::new(HashMap::new()),
+                limbo: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -302,6 +302,7 @@ impl Network {
         self.inner
             .nodes
             .read()
+            // lint:allow(hash-iter) — commutative max.
             .values()
             .map(|s| s.clock.now())
             .max()
@@ -388,8 +389,10 @@ impl NetInner {
         }
         let _ = slot.tx.send(frame);
         // Anything held back for this destination now goes out *after*
-        // the newer frame — that is the reordering.
-        if let Some(held) = self.limbo.lock().remove(&dst) {
+        // the newer frame — that is the reordering. Take the batch out
+        // under the lock, send after releasing it.
+        let held = self.limbo.lock().remove(&dst);
+        if let Some(held) = held {
             for f in held {
                 let _ = slot.tx.send(f);
             }
@@ -449,7 +452,7 @@ impl NetInner {
     /// by reorder faults.
     fn flush_limbo(&self) {
         let nodes = self.nodes.read();
-        let drained: Vec<(NodeId, Vec<Frame>)> = self.limbo.lock().drain().collect();
+        let drained = std::mem::take(&mut *self.limbo.lock());
         for (dst, frames) in drained {
             if let Some(slot) = nodes.get(&dst) {
                 if slot.crashed.load(Ordering::Acquire) {

@@ -60,7 +60,9 @@ impl Vt {
         Vt(self.0.saturating_sub(rhs.0))
     }
 
-    /// Scale a cost by a count (e.g. per-byte costs).
+    /// Scale a cost by a count (e.g. per-byte costs). Saturates instead
+    /// of wrapping, unlike `ops::Mul` would suggest — hence a method.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, times: u64) -> Vt {
         Vt(self.0.saturating_mul(times))
     }

@@ -2,6 +2,8 @@
 //!
 //! Re-exports the public crates so examples and integration tests can use a
 //! single dependency root. See the individual crates for real APIs.
+#![forbid(unsafe_code)]
+
 pub use clouds;
 pub use clouds_chaos as chaos;
 pub use clouds_codec as codec;

@@ -557,7 +557,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn oneof_mixes_arms(x in prop_oneof![Just(1u8), Just(2u8), (3u8..5)]) {
+        fn oneof_mixes_arms(x in prop_oneof![Just(1u8), Just(2u8), 3u8..5]) {
             prop_assert!((1..5).contains(&x));
         }
     }

@@ -674,10 +674,7 @@ impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<
     }
 }
 
-impl<'de, T: Deserialize<'de> + ?Sized> Deserialize<'de> for Box<T>
-where
-    T: Sized,
-{
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         T::deserialize(deserializer).map(Box::new)
     }
