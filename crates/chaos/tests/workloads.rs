@@ -231,14 +231,25 @@ mod dsm_bed {
     }
 
     pub fn client(net: &Network, id: NodeId, data: Vec<NodeId>) -> Arc<DsmClientPartition> {
-        let ratp = RatpNode::spawn(
-            net.register(id).expect("register client"),
+        client_with(
+            net,
+            id,
+            data,
             RatpConfig {
                 retry_interval: Duration::from_millis(5),
                 max_retries: 2_400,
                 dup_cache_size: 4096,
             },
-        );
+        )
+    }
+
+    pub fn client_with(
+        net: &Network,
+        id: NodeId,
+        data: Vec<NodeId>,
+        cfg: RatpConfig,
+    ) -> Arc<DsmClientPartition> {
+        let ratp = RatpNode::spawn(net.register(id).expect("register client"), cfg);
         DsmClientPartition::install(&ratp, Arc::new(PageCache::new(16)), data)
     }
 
@@ -704,6 +715,219 @@ fn ratp_executes_at_most_once_under_chaos() {
                     "phantom request id {e:#x} executed — corrupted frame accepted"
                 ));
             }
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Workload 5: replicated segment home, primary data-server crash while a
+// seeded schedule degrades every link. Invariant family: committed-durable
+// across promotion + bounded availability gap + one-copy after re-homing.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dsm_failover_under_data_server_crash() {
+    use clouds::node::DataServer;
+    use clouds::FailoverConfig;
+    use clouds_naming::NameClient;
+    use clouds_ra::PAGE_SIZE;
+    use clouds_simnet::Vt;
+    use std::time::Instant;
+
+    let cfg = ChaosConfig::from_env(13);
+    const PAGES: u64 = 2;
+    const ROUNDS_BEFORE: u64 = 6;
+    const ROUNDS_AFTER: u64 = 4;
+    let data_nodes = [NodeId(100), NodeId(101), NodeId(102)];
+    let primary = data_nodes[1];
+    // Clients ride out any loss window (200 × 5 ms) but abandon a dead
+    // home within a second, handing control to the failover retry layer
+    // (re-resolve, bounded probes) instead of pinning on the corpse.
+    let failover_client = RatpConfig {
+        retry_interval: Duration::from_millis(5),
+        max_retries: 200,
+        dup_cache_size: 4096,
+    };
+    // The schedule gets *no* crash-eligible nodes: it degrades links
+    // (loss, jitter, reorder, duplication, corruption) while the harness
+    // itself reboot-crashes the primary mid-schedule. Schedule-driven
+    // crash windows heal within the pacer sweep — faster than the
+    // deliberately skeptical verify-before-promote concludes — so a
+    // deterministic crash is the only way to pin an actual promotion at
+    // every seed; the schedule's job is to make detection, mirroring and
+    // re-homing survive hostile links.
+    run_chaos("dsm-failover", &cfg, &[], |schedule: &FaultSchedule| {
+        let net = Network::with_seed(CostModel::zero(), schedule.seed);
+        let datas: Vec<DataServer> = data_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| DataServer::boot(&net, node, patient_ratp(), i == 0))
+            .collect();
+        // Beacons are virtual-time stamped; the schedule jitters frames
+        // by at most horizon/32, so a detector sized for exactly that
+        // jitter never deposes a live primary.
+        let failover = FailoverConfig::for_jitter(Vt::from_nanos(cfg.horizon.as_nanos() / 32));
+        for (i, ds) in datas.iter().enumerate() {
+            let peers: Vec<NodeId> = data_nodes
+                .iter()
+                .copied()
+                .filter(|&n| n != data_nodes[i])
+                .collect();
+            ds.start_failover(peers, data_nodes[0], failover);
+        }
+
+        let writer = dsm_bed::client_with(&net, NodeId(1), data_nodes.to_vec(), failover_client.clone());
+        let seg = SysName::from_parts(31, 5);
+        let members = [primary, data_nodes[2], data_nodes[0]];
+        writer
+            .create_replicated_segment(seg, PAGES * PAGE_SIZE as u64, &members)
+            .map_err(err("create replicated segment"))?;
+        NameClient::new(writer.ratp(), data_nodes[0])
+            .register_replicas(seg, members[0], &members[1..])
+            .map_err(err("register replicas"))?;
+        let space = dsm_bed::space(&writer, seg, PAGES);
+
+        net.set_schedule(schedule);
+        let pacer = Pacer::drive(&net, cfg.horizon, PACER_BUDGET);
+
+        // Strictly increasing round numbers per page; an Ok flush is a
+        // *commit* — the primary acked only after every replica confirmed
+        // the mirrored write-back — and must survive the crash below. A
+        // write or flush interrupted by a link fault is allowed to fail.
+        let mut attempted = [0u64; PAGES as usize];
+        let mut confirmed = [0u64; PAGES as usize];
+        for round in 1..=ROUNDS_BEFORE {
+            for page in 0..PAGES as usize {
+                let addr = page as u64 * PAGE_SIZE as u64;
+                if space.write_u64(addr, round).is_ok() {
+                    attempted[page] = round;
+                    if space.flush().is_ok() {
+                        confirmed[page] = round;
+                    }
+                }
+            }
+        }
+
+        // Reboot-crash the primary mid-schedule: volatile state (grants,
+        // replica views, transport) dies, the store survives.
+        datas[1].crash(&net);
+
+        // Ride-through read while links are still hostile: a fresh
+        // client's probes must find the promoted backup and serve every
+        // committed byte — the availability gap is the failover budget,
+        // not "until someone restarts the machine".
+        let rider = dsm_bed::client_with(&net, NodeId(11), data_nodes.to_vec(), failover_client.clone());
+        let ride = dsm_bed::space(&rider, seg, PAGES);
+        for page in 0..PAGES as usize {
+            let addr = page as u64 * PAGE_SIZE as u64;
+            let v = ride.read_u64(addr).map_err(err("ride-through read"))?;
+            if v < confirmed[page] || v > attempted[page] {
+                return Err(format!(
+                    "page {page}: ride-through read {v}, confirmed {} attempted {} — \
+                     committed write lost across promotion",
+                    confirmed[page], attempted[page]
+                ));
+            }
+        }
+
+        pacer.finish();
+
+        // The naming directory must converge on the re-homed set (the
+        // monitor retries the directory update each tick; links are
+        // healed now, so this is quick).
+        let naming = datas[0].naming().expect("node 100 hosts naming");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Some(set) = naming.replica_set(seg) {
+                if set.primary_node() == data_nodes[2] && set.epoch == 2 {
+                    break;
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "directory never re-homed to {}: {:?}",
+                    data_nodes[2].0,
+                    naming.replica_set(seg)
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        // Reboot the ex-primary: it resyncs its demoted view from the
+        // directory before serving again (split-brain prevention), then
+        // catches up through mirror pushes as writes resume.
+        datas[1].restart(&net);
+        let applied_before = datas[1].dsm().stats().mirror_applies;
+        for round in ROUNDS_BEFORE + 1..=ROUNDS_BEFORE + ROUNDS_AFTER {
+            for page in 0..PAGES as usize {
+                let addr = page as u64 * PAGE_SIZE as u64;
+                space.write_u64(addr, round).map_err(err("post-failover write"))?;
+                space.flush().map_err(err("post-failover flush"))?;
+                attempted[page] = round;
+                confirmed[page] = round;
+            }
+        }
+        if datas[1].dsm().stats().mirror_applies <= applied_before {
+            return Err("restarted ex-primary never caught a mirror push".into());
+        }
+        drop(space);
+        drop(writer);
+
+        // One-copy after re-homing: fresh clients agree on every page
+        // and an exclusive probe through the new home reaches them all.
+        let fresh_a = dsm_bed::client_with(&net, NodeId(12), data_nodes.to_vec(), failover_client.clone());
+        let fresh_b = dsm_bed::client_with(&net, NodeId(13), data_nodes.to_vec(), failover_client.clone());
+        let sa = dsm_bed::space(&fresh_a, seg, PAGES);
+        let sb = dsm_bed::space(&fresh_b, seg, PAGES);
+        for (page, &committed) in confirmed.iter().enumerate() {
+            let addr = page as u64 * PAGE_SIZE as u64;
+            let va = sa.read_u64(addr).map_err(err("post-heal read"))?;
+            if va != committed {
+                return Err(format!("page {page}: read {va}, want committed {committed}"));
+            }
+            let vb = sb.read_u64(addr).map_err(err("post-heal read"))?;
+            if vb != va {
+                return Err(format!(
+                    "page {page}: fresh clients disagree ({va} vs {vb}) — one-copy violated"
+                ));
+            }
+            let probe = 1_000 + page as u64;
+            sa.write_u64(addr, probe).map_err(err("post-heal write"))?;
+            sa.flush().map_err(err("post-heal flush"))?;
+            let got = sb.read_u64(addr).map_err(err("post-heal read"))?;
+            if got != probe {
+                return Err(format!(
+                    "page {page}: probe read back {got}, want {probe} — stale copy after re-homing"
+                ));
+            }
+        }
+
+        // Exactly one promotion happened, on the first backup, and the
+        // availability gap it measured stays within the detector budget,
+        // plus one verification window (a verify call aborted by a
+        // late-landing beacon delays the detection tick by its wall
+        // time), plus a few beacon quanta of scan granularity and skew.
+        let verify_window = Vt::from_nanos(patient_ratp().retry_interval.as_nanos() as u64)
+            .mul(failover.verify_retries as u64);
+        let bound = failover.detector().budget() + verify_window + failover.beacon_interval.mul(6);
+        let mut promotions = 0;
+        for ds in &datas {
+            let gap = ds.ratp().obs().registry().histogram_summary("core.failover.gap");
+            promotions += gap.count;
+            if gap.count > 0 && gap.max > bound {
+                return Err(format!(
+                    "node {}: availability gap {} exceeds budget bound {bound}",
+                    ds.node_id().0,
+                    gap.max
+                ));
+            }
+        }
+        if promotions != 1 {
+            return Err(format!("{promotions} promotions recorded, want exactly 1"));
+        }
+        for ds in &datas {
+            ds.stop_failover();
         }
         Ok(())
     });

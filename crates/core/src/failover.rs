@@ -1,0 +1,183 @@
+//! Automated data-server failover for replicated segment homes.
+//!
+//! Data servers beacon one another with RaTP heartbeats
+//! ([`RatpNode::send_heartbeat`]) on a fixed real-time tick. Each tick
+//! also charges the node's virtual clock one beacon interval: an
+//! otherwise idle system (zero cost model, no workload traffic) would
+//! never advance virtual time, and a failure detector that compares
+//! virtual stamps needs silence to *accumulate*. Because detection runs
+//! entirely in virtual time, a monitor thread stalled by a loaded CI
+//! machine cannot manufacture silence — real-time stalls simply do not
+//! advance the clock.
+//!
+//! For every replicated segment, the **first backup** (and only it — a
+//! single deterministic successor, so two backups never race to promote)
+//! watches the primary with a [`FailureDetector`]. When the beacon gap
+//! exceeds the budget it double-checks with a bounded verification call:
+//! the primary's transport answers even when its own monitor thread is
+//! busy, so a merely-slow primary is never deposed. Only then does the
+//! backup promote itself — locally first ([`DsmServer::promote_segment`]
+//! flips who answers home probes, which is what actually re-homes
+//! in-flight client traffic), then in the naming directory, so a later
+//! restart of the dead ex-primary resyncs into its demoted role instead
+//! of waking up believing it still owns the segment.
+
+use clouds_dsm::proto::{self, DsmRequest};
+use clouds_dsm::{ports, DsmServer};
+use clouds_naming::NameClient;
+use clouds_ra::SysName;
+use clouds_ratp::{CallError, FailureDetector, RatpNode};
+use clouds_simnet::{NodeId, Vt};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables for the failover monitor on a data server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverConfig {
+    /// Virtual-time beacon period; also the quantum charged to the
+    /// node's clock per real-time tick.
+    pub beacon_interval: Vt,
+    /// Consecutive beacon losses the detector tolerates.
+    pub missed_beacons: u64,
+    /// Worst-case extra delivery delay the detector absorbs (chaos
+    /// schedules jitter frames by up to `horizon / 32`).
+    pub max_jitter: Vt,
+    /// Real-time period of the monitor loop.
+    pub tick: Duration,
+    /// Retry budget for the verification call to a suspected-dead
+    /// primary. Deliberately small: the call *blocks the monitor loop*,
+    /// so its wall time (`verify_retries` × the node's RaTP retry
+    /// interval) both delays the promotion and widens the worst-case
+    /// measured gap. False-positive safety comes from the silence
+    /// re-check after the call, not from a long retry budget.
+    pub verify_retries: u32,
+}
+
+impl FailoverConfig {
+    /// The default cadence (5 ms beacons, two tolerated losses, 5 ms
+    /// real ticks) sized for `max_jitter` of network delay.
+    pub fn for_jitter(max_jitter: Vt) -> FailoverConfig {
+        FailoverConfig {
+            beacon_interval: Vt::from_millis(5),
+            missed_beacons: 2,
+            max_jitter,
+            tick: Duration::from_millis(5),
+            verify_retries: 4,
+        }
+    }
+
+    /// The failure detector this configuration implies.
+    pub fn detector(&self) -> FailureDetector {
+        FailureDetector::tolerant(self.beacon_interval, self.missed_beacons, self.max_jitter)
+    }
+}
+
+impl Default for FailoverConfig {
+    /// Jitter allowance of 7 ms: covers the chaos schedules' bound
+    /// (`horizon / 32` = 6.25 ms at the CI horizon of 200 ms).
+    fn default() -> FailoverConfig {
+        FailoverConfig::for_jitter(Vt::from_millis(7))
+    }
+}
+
+/// Spawn the monitor loop; flipping the returned flag stops it after at
+/// most one more tick.
+pub(crate) fn spawn_monitor(
+    ratp: Arc<RatpNode>,
+    dsm: Arc<DsmServer>,
+    peers: Vec<NodeId>,
+    naming_server: NodeId,
+    config: FailoverConfig,
+) -> Arc<AtomicBool> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    std::thread::Builder::new()
+        .name(format!("failover-{}", ratp.node_id().0))
+        .spawn(move || monitor_loop(&ratp, &dsm, &peers, naming_server, config, &stop_flag))
+        .expect("spawn failover monitor");
+    stop
+}
+
+fn monitor_loop(
+    ratp: &Arc<RatpNode>,
+    dsm: &Arc<DsmServer>,
+    peers: &[NodeId],
+    naming_server: NodeId,
+    config: FailoverConfig,
+    stop: &AtomicBool,
+) {
+    let detector = config.detector();
+    let naming = NameClient::new(ratp, naming_server);
+    let gap_hist = ratp.obs().histogram("core.failover.gap");
+    let false_alarms = ratp.obs().counter("core.failover.false_alarms");
+    let me = ratp.node_id();
+    // Promotions applied locally but not yet recorded in the naming
+    // directory (its host may be briefly unreachable): retried each tick.
+    let mut pending: Vec<(SysName, u64)> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(config.tick);
+        ratp.clock().charge(config.beacon_interval);
+        for &peer in peers {
+            ratp.send_heartbeat(peer);
+        }
+        let now = ratp.clock().now();
+        for (seg, members, epoch) in dsm.replicated_segments() {
+            if members.get(1) != Some(&me) {
+                continue; // only the first backup may promote
+            }
+            let primary = members[0];
+            let last = ratp.last_heartbeat(primary);
+            if !detector.is_dead(last, now) {
+                continue;
+            }
+            if verify_alive(ratp, primary, seg, config.verify_retries) {
+                false_alarms.inc();
+                continue;
+            }
+            // Second chance: the verify call burned several retry
+            // intervals of real time. A live primary that merely lost a
+            // beacon run to a lossy link will almost surely have landed
+            // a fresh one meanwhile; a dead one stays silent. Requiring
+            // the silence to *persist* through verification makes a
+            // false promotion need an unbroken loss streak across both
+            // windows — vanishingly unlikely even at chaos loss rates.
+            if ratp.last_heartbeat(primary) > last {
+                false_alarms.inc();
+                continue;
+            }
+            // The availability gap this failover leaves: virtual silence
+            // observed at the detection decision. Bounded by the
+            // detector budget plus one verification window (a preceding
+            // verify may have delayed this tick) plus a tick's quantum
+            // of granularity; total unavailability adds the final
+            // verification window on top.
+            gap_hist.record(last.map_or(Vt::ZERO, |l| now.saturating_sub(l)));
+            let next_epoch = epoch + 1;
+            if dsm.promote_segment(seg, next_epoch).is_ok() {
+                pending.push((seg, next_epoch));
+            }
+        }
+        pending.retain(|&(seg, epoch)| match naming.promote(seg, me, epoch) {
+            Ok(_) => false,
+            // Never registered with the directory: nothing to re-home.
+            Err(clouds_naming::NameError::NotFound(_)) => false,
+            Err(_) => true, // directory unreachable: retry next tick
+        });
+    }
+}
+
+/// Is the suspected primary actually answering? Any reply — even an
+/// error — proves the node's transport is alive, in which case the
+/// silence was a beacon pathology and promotion would be a split brain.
+fn verify_alive(ratp: &Arc<RatpNode>, primary: NodeId, seg: SysName, retries: u32) -> bool {
+    match ratp.call_with_budget(
+        primary,
+        ports::DSM_SERVER,
+        proto::encode(&DsmRequest::SegmentLen { seg }),
+        retries,
+    ) {
+        Ok(_) | Err(CallError::ServiceNotFound(_)) => true,
+        Err(_) => false,
+    }
+}

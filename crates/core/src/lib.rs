@@ -78,6 +78,7 @@ pub mod class;
 pub mod cluster;
 pub mod consistency_hooks;
 mod error;
+pub mod failover;
 pub mod invocation;
 pub mod io;
 pub mod memory;
@@ -90,6 +91,7 @@ pub mod thread;
 pub use class::{ClassRegistry, EntryResult, ObjectCode, OperationLabel};
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::CloudsError;
+pub use failover::FailoverConfig;
 pub use invocation::Invocation;
 pub use node::{ComputeServer, DataServer, Workstation};
 pub use shell::Shell;

@@ -18,6 +18,7 @@
 use crate::class::ClassRegistry;
 use crate::consistency_hooks::CpSession;
 use crate::error::CloudsError;
+use crate::failover::{self, FailoverConfig};
 use crate::invocation::Invocation;
 use crate::io::{IoReply, IoRequest, UserIoManager, USER_IO_PORT};
 use crate::object_manager::ObjectManager;
@@ -32,7 +33,7 @@ use crossbeam::channel::bounded;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// Wire form of an invocation target.
@@ -811,6 +812,14 @@ pub struct DataServer {
     locks: Arc<LockService>,
     semaphores: Arc<SemaphoreService>,
     naming: Option<Arc<NameServer>>,
+    failover: Mutex<Option<FailoverState>>,
+}
+
+/// Book-keeping for a running failover monitor: its stop flag, plus the
+/// naming node a restarted server resyncs its replica views from.
+struct FailoverState {
+    stop: Arc<AtomicBool>,
+    naming_server: NodeId,
 }
 
 impl fmt::Debug for DataServer {
@@ -861,6 +870,44 @@ impl DataServer {
             locks,
             semaphores,
             naming,
+            failover: Mutex::new(None),
+        }
+    }
+
+    /// Start this server's failover monitor: beacon the peer data
+    /// servers, watch the primaries of replicated segments this server
+    /// backs up, and promote on a confirmed primary death (see
+    /// [`crate::failover`]). `naming_server` is also remembered so a
+    /// post-crash [`DataServer::restart`] resyncs replica views from the
+    /// directory before serving again.
+    pub fn start_failover(
+        &self,
+        peers: Vec<NodeId>,
+        naming_server: NodeId,
+        config: FailoverConfig,
+    ) {
+        let stop = failover::spawn_monitor(
+            Arc::clone(&self.ratp),
+            Arc::clone(&self.dsm),
+            peers,
+            naming_server,
+            config,
+        );
+        let mut slot = self.failover.lock();
+        if let Some(prev) = slot.take() {
+            prev.stop.store(true, Ordering::SeqCst);
+        }
+        *slot = Some(FailoverState {
+            stop,
+            naming_server,
+        });
+    }
+
+    /// Stop the failover monitor (it exits within one tick). The
+    /// remembered naming server is kept so restart resync still works.
+    pub fn stop_failover(&self) {
+        if let Some(st) = self.failover.lock().as_ref() {
+            st.stop.store(true, Ordering::SeqCst);
         }
     }
 
@@ -897,15 +944,52 @@ impl DataServer {
 
     /// Crash the data server: the segment store survives (it is disk),
     /// but the coherence directory and transport state are volatile.
+    /// Replicated segments stop being served until the restart resyncs
+    /// their views — the crash may sleep through a demotion.
     pub fn crash(&self, net: &Network) {
         net.crash(self.node);
+        self.lose_volatile_state();
+    }
+
+    /// The machine-reboot half of [`DataServer::crash`], without touching
+    /// the network — for harnesses whose fault injector already cut the
+    /// node off (e.g. a schedule-driven crash window): the store
+    /// survives, everything else is lost, and replicated segments stop
+    /// being served until [`DataServer::resync_replicas`].
+    pub fn lose_volatile_state(&self) {
+        self.dsm.begin_recovery();
         self.dsm.clear_directory();
         self.ratp.reset_volatile_state();
     }
 
-    /// Restart after a crash with the surviving store.
+    /// Restart after a crash with the surviving store. If a failover
+    /// monitor was configured, every replicated segment's view is
+    /// refreshed from the naming directory *before* serving resumes: a
+    /// rebooted ex-primary must learn it was demoted while down, or two
+    /// servers would answer home probes for the same segment.
     pub fn restart(&self, net: &Network) {
         net.restart(self.node);
+        self.resync_replicas();
+    }
+
+    /// The recovery half of [`DataServer::restart`], without touching the
+    /// network: refresh every replicated segment's view from the naming
+    /// directory, then resume serving. The counterpart of
+    /// [`DataServer::lose_volatile_state`] for harnesses that restore
+    /// connectivity themselves.
+    pub fn resync_replicas(&self) {
+        let naming_server = self.failover.lock().as_ref().map(|st| st.naming_server);
+        if let Some(ns) = naming_server {
+            let directory = NameClient::new(&self.ratp, ns);
+            for (seg, _, _) in self.dsm.replicated_segments() {
+                if let Ok(set) = directory.lookup_replicas(seg) {
+                    let mut members = vec![set.primary_node()];
+                    members.extend(set.backup_nodes());
+                    self.dsm.adopt_replica_config(seg, members, set.epoch);
+                }
+            }
+        }
+        self.dsm.finish_recovery();
     }
 }
 

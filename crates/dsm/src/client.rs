@@ -20,6 +20,25 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Failover patience: how many times a faulting operation re-resolves
+/// the segment's home after a retriable failure before surfacing the
+/// error. A crashed primary first burns the operation's own call budget,
+/// then each attempt here costs one bounded home re-discovery — by which
+/// time the failure-detector has long since promoted a backup.
+const FAILOVER_ATTEMPTS: u32 = 10;
+
+/// Pause between failover re-resolutions: gives the data servers' monitor
+/// a beat to detect the dead primary and re-home the segment.
+const FAILOVER_BACKOFF: Duration = Duration::from_millis(25);
+
+/// Retry budget for home-discovery probes. Bounded (unlike ordinary
+/// calls) so a probe to a *crashed* server abandons quickly instead of
+/// pinning the resolve for the full patient call budget — a live server
+/// answers a probe in one or two round trips, and a false negative only
+/// costs one [`FAILOVER_ATTEMPTS`] round.
+const PROBE_RETRIES: u32 = 80;
 
 /// Tunables for a [`DsmClientPartition`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -256,6 +275,47 @@ impl DsmClientPartition {
         }
     }
 
+    /// Create a segment replicated across `members` (primary first,
+    /// backups in promotion order). The primary creates the canonical
+    /// copy and pushes a `MirrorCreate` to every backup before replying,
+    /// so the whole replica set exists before the first write. The caller
+    /// is expected to also register the set with the naming directory
+    /// (`NameClient::register_replicas`) so failover can re-home it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the primary's error (including any backup's refusal,
+    /// surfaced by the primary) or transport failure; rejects an empty
+    /// member list.
+    pub fn create_replicated_segment(
+        &self,
+        seg: SysName,
+        len: u64,
+        members: &[NodeId],
+    ) -> clouds_ra::Result<()> {
+        let Some((&primary, _)) = members.split_first() else {
+            return Err(RaError::PartitionUnavailable(
+                "replica set must name at least a primary".into(),
+            ));
+        };
+        let wire = members.iter().map(|n| n.0).collect();
+        match self.call(
+            primary,
+            &DsmRequest::CreateReplicated {
+                seg,
+                len,
+                members: wire,
+            },
+        )? {
+            DsmReply::Ok => {
+                self.homes.lock().insert(seg, primary);
+                Ok(())
+            }
+            DsmReply::Err(e) => Err(e.into()),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Default placement for a fresh segment: hash over the data servers.
     pub fn default_home(&self, seg: SysName) -> NodeId {
         let idx = (seg.as_u128() % self.data_servers.len() as u128) as usize;
@@ -322,8 +382,13 @@ impl DsmClientPartition {
             std::thread::spawn(move || {
                 let _trace = ctx.map(install_ctx);
                 let found = matches!(
-                    ratp.call(server, ports::DSM_SERVER, proto::encode(&DsmRequest::SegmentLen { seg }))
-                        .map(|bytes| proto::decode::<DsmReply>(&bytes)),
+                    ratp.call_with_budget(
+                        server,
+                        ports::DSM_SERVER,
+                        proto::encode(&DsmRequest::SegmentLen { seg }),
+                        PROBE_RETRIES,
+                    )
+                    .map(|bytes| proto::decode::<DsmReply>(&bytes)),
                     Ok(Ok(DsmReply::Len(_)))
                 );
                 let _ = tx.send((server, found));
@@ -444,21 +509,32 @@ impl DsmClientPartition {
         }
     }
 
+    /// Run `f` against the segment's home, riding out re-homing: a
+    /// `SegmentNotFound` (stale home cache, or a backup not yet promoted)
+    /// or `PartitionUnavailable` (home crashed mid-call) drops the cached
+    /// home and rediscovers, up to [`FAILOVER_ATTEMPTS`] times. An
+    /// in-flight fetch or write-back therefore lands on the *new* primary
+    /// after a failover instead of surfacing the crash to the fault
+    /// handler.
     fn on_home<T>(
         &self,
         seg: SysName,
         f: impl Fn(NodeId) -> clouds_ra::Result<T>,
     ) -> clouds_ra::Result<T> {
-        let home = self.resolve(seg)?;
-        match f(home) {
-            Err(RaError::SegmentNotFound(_)) => {
-                // Stale home cache (segment moved/recreated): rediscover once.
+        let mut last = None;
+        for attempt in 0..FAILOVER_ATTEMPTS {
+            if attempt > 0 {
                 self.forget_home(seg);
-                let home = self.resolve(seg)?;
-                f(home)
+                std::thread::sleep(FAILOVER_BACKOFF);
             }
-            other => other,
+            match self.resolve(seg).and_then(&f) {
+                Err(e @ (RaError::SegmentNotFound(_) | RaError::PartitionUnavailable(_))) => {
+                    last = Some(e);
+                }
+                other => return other,
+            }
         }
+        Err(last.expect("FAILOVER_ATTEMPTS > 0"))
     }
 }
 

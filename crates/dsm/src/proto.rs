@@ -125,6 +125,70 @@ pub enum DsmRequest {
         /// One entry per granted page.
         acks: Vec<WireInstallAck>,
     },
+    /// Create a segment replicated across `members` (raw
+    /// `clouds_simnet::NodeId` values, `members[0]` = this server, the
+    /// primary). The primary
+    /// creates locally, then pushes a [`DsmRequest::MirrorCreate`] to
+    /// every backup before replying.
+    CreateReplicated {
+        /// New segment's sysname.
+        seg: SysName,
+        /// Size in bytes.
+        len: u64,
+        /// Full replica membership in promotion order; `members[0]` must
+        /// be the receiving server.
+        members: Vec<u32>,
+    },
+    /// Primary → backup: materialize a replicated segment's backing
+    /// store and record its membership at `epoch`.
+    MirrorCreate {
+        /// New segment's sysname.
+        seg: SysName,
+        /// Size in bytes.
+        len: u64,
+        /// Full replica membership in promotion order.
+        members: Vec<u32>,
+        /// Replica-configuration epoch.
+        epoch: u64,
+    },
+    /// Primary → backup: apply one durable page image. Carries the
+    /// primary's membership view and epoch so a receiver with a stale
+    /// view (a restarted ex-primary) adopts the newer configuration, and
+    /// a *stale sender* (an ex-primary that missed its own demotion) is
+    /// fenced off by the receiver's higher epoch.
+    MirrorWrite {
+        /// Segment sysname.
+        seg: SysName,
+        /// Page index.
+        page: u32,
+        /// Full page contents.
+        data: Vec<u8>,
+        /// The primary's canonical version for this page image. Backups
+        /// apply strictly increasing versions only, so racing or
+        /// duplicated mirror pushes converge on the newest image.
+        version: u64,
+        /// Sender's replica membership view, promotion order.
+        members: Vec<u32>,
+        /// Sender's replica-configuration epoch.
+        epoch: u64,
+    },
+    /// Primary → backup: destroy a replicated segment's local copy.
+    MirrorDestroy {
+        /// Victim sysname.
+        seg: SysName,
+        /// Sender's replica-configuration epoch.
+        epoch: u64,
+    },
+    /// Promote the receiving backup to primary for `seg` at `epoch`.
+    /// Idempotent: applied only when `epoch` exceeds the receiver's
+    /// current epoch for the segment, mirroring the directory's fencing
+    /// rule, so duplicate promotions converge.
+    PromoteSegment {
+        /// The replicated segment.
+        seg: SysName,
+        /// Proposed epoch; must be greater than the current one to win.
+        epoch: u64,
+    },
 }
 
 /// One dirty page inside a [`DsmRequest::WriteBackBatch`].
@@ -429,6 +493,46 @@ mod tests {
             }
             other => panic!("wrong decode: {other:?}"),
         }
+    }
+
+    #[test]
+    fn replication_requests_roundtrip() {
+        let seg = SysName::from_parts(8, 8);
+        let req = DsmRequest::MirrorWrite {
+            seg,
+            page: 2,
+            data: vec![7; 32],
+            version: 9,
+            members: vec![100, 101, 102],
+            epoch: 3,
+        };
+        match decode::<DsmRequest>(&encode(&req)).unwrap() {
+            DsmRequest::MirrorWrite {
+                page,
+                members,
+                epoch,
+                ..
+            } => {
+                assert_eq!(page, 2);
+                assert_eq!(members, vec![100, 101, 102]);
+                assert_eq!(epoch, 3);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let req = DsmRequest::PromoteSegment { seg, epoch: 4 };
+        assert!(matches!(
+            decode::<DsmRequest>(&encode(&req)).unwrap(),
+            DsmRequest::PromoteSegment { epoch: 4, .. }
+        ));
+        let req = DsmRequest::CreateReplicated {
+            seg,
+            len: 4096,
+            members: vec![100, 101],
+        };
+        assert!(matches!(
+            decode::<DsmRequest>(&encode(&req)).unwrap(),
+            DsmRequest::CreateReplicated { len: 4096, .. }
+        ));
     }
 
     #[test]

@@ -28,9 +28,9 @@ use clouds_ra::{RaError, SegmentStore, SysName};
 use clouds_ratp::{CallError, RatpNode, Request};
 use clouds_simnet::NodeId;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,13 @@ const RECALL_RETRIES: u32 = 40;
 /// How long a transition waits for a grantee's install acknowledgement
 /// before assuming the grantee died with the grant in flight.
 const ACK_DEADLINE: Duration = Duration::from_millis(1000);
+
+/// Retransmission budget for mirror pushes to backups. Patient on
+/// purpose: a backup in a crash window restarts within the fault
+/// schedule's horizon, and a primary must *block* (not drop the mirror)
+/// so no write is ever acknowledged that a promoted backup could miss —
+/// durability over write availability.
+const MIRROR_RETRIES: u32 = 800;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Coherence {
@@ -62,6 +69,23 @@ struct PageEntry {
 #[derive(Default)]
 struct Directory {
     pages: HashMap<(SysName, u32), PageEntry>,
+}
+
+/// Replica configuration of one replicated segment, as this server
+/// currently believes it: the full membership in promotion order
+/// (`members[0]` is the primary) and the epoch fencing re-homing.
+///
+/// Like the [`SegmentStore`], this state survives a simulated crash —
+/// it is the durable "which disks hold this segment" record, not the
+/// volatile coherence directory. A restarted ex-primary may therefore
+/// hold a *stale* view; every mirror push carries the sender's view and
+/// epoch so stale receivers adopt the newer configuration lazily, and
+/// [`DsmServer::adopt_replica_config`] lets a rebooting server resync
+/// from the naming directory eagerly.
+#[derive(Debug, Clone)]
+struct ReplicaState {
+    members: Vec<NodeId>,
+    epoch: u64,
 }
 
 /// Traffic counters for the coherence protocol (experiment E4 reports
@@ -96,6 +120,15 @@ pub struct DsmServerStats {
     /// `WriteBackBatch` RPCs served (each may carry many pages, all
     /// counted individually in `write_backs`).
     pub batch_write_backs: u64,
+    /// Mirror pushes sent to backups (one per page per backup).
+    pub mirror_writes: u64,
+    /// Mirror pushes received and applied to the local store (stale or
+    /// duplicate pushes are confirmed but not re-applied, and not
+    /// counted).
+    pub mirror_applies: u64,
+    /// Promotions applied: this server assumed the primary role for a
+    /// segment.
+    pub promotions: u64,
 }
 
 /// A data server's DSM service.
@@ -109,6 +142,17 @@ pub struct DsmServer {
     store: SegmentStore,
     directory: Mutex<Directory>,
     busy_cvar: Condvar,
+    /// Replica configuration per replicated segment (absent for plain
+    /// single-home segments). `BTreeMap` so enumeration is deterministic.
+    replicas: Mutex<BTreeMap<SysName, ReplicaState>>,
+    /// Highest primary-side version applied per mirrored page; orders
+    /// racing mirror pushes and absorbs duplicates.
+    mirror_versions: Mutex<BTreeMap<(SysName, u32), u64>>,
+    /// Set across a crash/restart: while recovering, replicated segments
+    /// are not served (the local replica view may predate a promotion
+    /// that happened while this server was down — serving on it would be
+    /// a split brain). Cleared once the view is resynced from naming.
+    recovering: AtomicBool,
     obs: Arc<NodeObs>,
     metrics: ServerMetrics,
     grant_seq: AtomicU64,
@@ -127,6 +171,9 @@ struct ServerMetrics {
     batch_fetches: Arc<Counter>,
     prefetch_pages_granted: Arc<Counter>,
     batch_write_backs: Arc<Counter>,
+    mirror_writes: Arc<Counter>,
+    mirror_applies: Arc<Counter>,
+    promotions: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -142,6 +189,9 @@ impl ServerMetrics {
             batch_fetches: obs.counter("dsm.server.batch_fetches"),
             prefetch_pages_granted: obs.counter("dsm.server.prefetch_pages_granted"),
             batch_write_backs: obs.counter("dsm.server.batch_write_backs"),
+            mirror_writes: obs.counter("dsm.server.mirror_writes"),
+            mirror_applies: obs.counter("dsm.server.mirror_applies"),
+            promotions: obs.counter("dsm.server.promotions"),
         }
     }
 }
@@ -172,6 +222,9 @@ impl DsmServer {
             store,
             directory: Mutex::new(Directory::default()),
             busy_cvar: Condvar::new(),
+            replicas: Mutex::new(BTreeMap::new()),
+            mirror_versions: Mutex::new(BTreeMap::new()),
+            recovering: AtomicBool::new(false),
             obs,
             metrics,
             grant_seq: AtomicU64::new(1),
@@ -212,6 +265,9 @@ impl DsmServer {
             batch_fetches: self.metrics.batch_fetches.get(),
             prefetch_pages_granted: self.metrics.prefetch_pages_granted.get(),
             batch_write_backs: self.metrics.batch_write_backs.get(),
+            mirror_writes: self.metrics.mirror_writes.get(),
+            mirror_applies: self.metrics.mirror_applies.get(),
+            promotions: self.metrics.promotions.get(),
         }
     }
 
@@ -251,6 +307,9 @@ impl DsmServer {
             let segment = self.store.get(seg)?;
             let version = segment.write().write_page(page, data)?;
             self.metrics.write_backs.inc();
+            // The commit is not acknowledged until every backup holds the
+            // committed image: a post-commit failover must serve it.
+            self.mirror_page(seg, page, data, version)?;
             Ok(version)
         })();
         // On an aborted recall, keep the pre-transition copyset: copies
@@ -270,26 +329,379 @@ impl DsmServer {
         self.busy_cvar.notify_all();
     }
 
+    // --- segment replication ---------------------------------------------
+
+    /// Replicated segments are served only by their primary: a backup
+    /// answers `SegmentNotFound`, exactly as if it did not hold the
+    /// segment, so home discovery and failover retries naturally land on
+    /// the current primary and never see two servers claiming one
+    /// segment.
+    fn check_serving(&self, seg: SysName) -> clouds_ra::Result<()> {
+        match self.replicas.lock().get(&seg) {
+            Some(st)
+                if st.members.first() != Some(&self.ratp.node_id())
+                    || self.recovering.load(Ordering::SeqCst) =>
+            {
+                Err(RaError::SegmentNotFound(seg))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Stop serving replicated segments until the replica view is
+    /// resynced — part of the crash simulation: a rebooted ex-primary
+    /// must learn of any demotion that happened while it was down
+    /// *before* it answers home probes again, or two servers would claim
+    /// the same segment. Mirror pushes and promotions still apply while
+    /// recovering (they are how the view catches up).
+    pub fn begin_recovery(&self) {
+        self.recovering.store(true, Ordering::SeqCst);
+    }
+
+    /// Resume serving replicated segments; call after the replica views
+    /// have been refreshed from the naming directory with
+    /// [`DsmServer::adopt_replica_config`].
+    pub fn finish_recovery(&self) {
+        self.recovering.store(false, Ordering::SeqCst);
+    }
+
+    /// This server's view of `seg`'s replica set, if replicated:
+    /// membership in promotion order (`[0]` = primary) and epoch.
+    pub fn replica_view(&self, seg: SysName) -> Option<(Vec<NodeId>, u64)> {
+        self.replicas
+            .lock()
+            .get(&seg)
+            .map(|st| (st.members.clone(), st.epoch))
+    }
+
+    /// Every replicated segment this server participates in, with its
+    /// current membership view and epoch, in deterministic (sysname)
+    /// order. The failover monitor sweeps this to find primaries to
+    /// watch.
+    pub fn replicated_segments(&self) -> Vec<(SysName, Vec<NodeId>, u64)> {
+        self.replicas
+            .lock()
+            .iter()
+            .map(|(seg, st)| (*seg, st.members.clone(), st.epoch))
+            .collect()
+    }
+
+    /// Overwrite the local replica view of `seg` if `epoch` is no older
+    /// than the current one — used by a rebooting server to resync from
+    /// the naming directory before it serves again (a restarted
+    /// ex-primary must learn of its demotion *before* answering home
+    /// probes, or two servers would claim the segment).
+    pub fn adopt_replica_config(&self, seg: SysName, members: Vec<NodeId>, epoch: u64) {
+        let mut reps = self.replicas.lock();
+        match reps.get_mut(&seg) {
+            Some(st) if epoch >= st.epoch => {
+                st.members = members;
+                st.epoch = epoch;
+            }
+            Some(_) => {}
+            None => {
+                reps.insert(seg, ReplicaState { members, epoch });
+            }
+        }
+    }
+
+    /// Assume the primary role for `seg` at `epoch`. Idempotent under
+    /// duplicate promotion messages: only a strictly newer epoch changes
+    /// anything (the directory applies the same fencing rule, so both
+    /// converge). The demoted primary moves to the back of the
+    /// promotion order; it rejoins as a backup when it restarts.
+    ///
+    /// # Errors
+    ///
+    /// [`RaError::SegmentNotFound`] if this server holds no replica of
+    /// `seg`.
+    pub fn promote_segment(&self, seg: SysName, epoch: u64) -> clouds_ra::Result<()> {
+        let me = self.ratp.node_id();
+        let mut reps = self.replicas.lock();
+        let st = reps
+            .get_mut(&seg)
+            .ok_or(RaError::SegmentNotFound(seg))?;
+        if epoch > st.epoch {
+            if st.members.first() != Some(&me) {
+                let old = st.members[0];
+                st.members.retain(|&n| n != me && n != old);
+                st.members.insert(0, me);
+                st.members.push(old);
+            }
+            st.epoch = epoch;
+            self.metrics.promotions.inc();
+            self.obs
+                .instant("dsm.server", "promote", format!("seg={seg} epoch={epoch}"));
+        }
+        Ok(())
+    }
+
+    fn create_replicated(&self, seg: SysName, len: u64, members: &[u32]) -> DsmReply {
+        let nodes: Vec<NodeId> = members.iter().map(|&n| NodeId(n)).collect();
+        if nodes.first() != Some(&self.ratp.node_id()) {
+            return DsmReply::Err(
+                RaError::PartitionUnavailable(format!(
+                    "CreateReplicated sent to {} but members[0] is {:?}",
+                    self.ratp.node_id(),
+                    nodes.first()
+                ))
+                .into(),
+            );
+        }
+        if let Err(e) = self.store.create(seg, len) {
+            return DsmReply::Err(e.into());
+        }
+        self.replicas.lock().insert(
+            seg,
+            ReplicaState {
+                members: nodes.clone(),
+                epoch: 1,
+            },
+        );
+        for &backup in &nodes[1..] {
+            let req = DsmRequest::MirrorCreate {
+                seg,
+                len,
+                members: members.to_vec(),
+                epoch: 1,
+            };
+            if let Err(e) = self.mirror_call(backup, &req) {
+                return DsmReply::Err(e.into());
+            }
+        }
+        DsmReply::Ok
+    }
+
+    fn apply_mirror_create(
+        &self,
+        src: NodeId,
+        seg: SysName,
+        len: u64,
+        members: &[u32],
+        epoch: u64,
+    ) -> DsmReply {
+        if let Err(e) = self.adopt_mirror_config(src, seg, members, epoch) {
+            return DsmReply::Err(e.into());
+        }
+        match self.store.create(seg, len) {
+            // A retransmitted create finding the segment in place is the
+            // duplicate case, not a conflict.
+            Ok(()) | Err(RaError::SegmentExists(_)) => DsmReply::Ok,
+            Err(e) => DsmReply::Err(e.into()),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_mirror_write(
+        &self,
+        src: NodeId,
+        seg: SysName,
+        page: u32,
+        data: &[u8],
+        version: u64,
+        members: &[u32],
+        epoch: u64,
+    ) -> DsmReply {
+        if let Err(e) = self.adopt_mirror_config(src, seg, members, epoch) {
+            return DsmReply::Err(e.into());
+        }
+        // Apply under the version lock so a racing older push can never
+        // overwrite a newer image (store application and the version
+        // record move together).
+        let mut versions = self.mirror_versions.lock();
+        let slot = versions.entry((seg, page)).or_insert(0);
+        if version <= *slot {
+            return DsmReply::Ok; // duplicate or already-superseded image
+        }
+        let segment = match self.store.get(seg) {
+            Ok(s) => s,
+            Err(e) => return DsmReply::Err(e.into()),
+        };
+        if let Err(e) = segment.write().write_page(page, data) {
+            return DsmReply::Err(e.into());
+        }
+        *slot = version;
+        self.metrics.mirror_applies.inc();
+        DsmReply::Ok
+    }
+
+    fn apply_mirror_destroy(&self, seg: SysName, epoch: u64) -> DsmReply {
+        {
+            let mut reps = self.replicas.lock();
+            match reps.get(&seg) {
+                None => return DsmReply::Ok, // duplicate destroy
+                Some(st) if epoch < st.epoch => {
+                    return DsmReply::Err(
+                        RaError::PartitionUnavailable(format!(
+                            "stale mirror destroy epoch {epoch} < {}",
+                            st.epoch
+                        ))
+                        .into(),
+                    )
+                }
+                Some(_) => {}
+            }
+            reps.remove(&seg);
+        }
+        self.mirror_versions.lock().retain(|(s, _), _| *s != seg);
+        match self.store.destroy(seg) {
+            Ok(()) | Err(RaError::SegmentNotFound(_)) => DsmReply::Ok,
+            Err(e) => DsmReply::Err(e.into()),
+        }
+    }
+
+    /// Accept (or refuse) a mirror push's configuration: the sender must
+    /// be the primary of its own view, and its epoch must not be older
+    /// than ours — a stale ex-primary that missed its demotion is fenced
+    /// off here. An equal-or-newer view is adopted, which is how a
+    /// restarted replica with stale membership catches up lazily.
+    fn adopt_mirror_config(
+        &self,
+        src: NodeId,
+        seg: SysName,
+        members: &[u32],
+        epoch: u64,
+    ) -> clouds_ra::Result<()> {
+        if members.first() != Some(&src.0) {
+            return Err(RaError::PartitionUnavailable(format!(
+                "mirror push from {} which is not the primary of its own view",
+                src.0
+            )));
+        }
+        let nodes: Vec<NodeId> = members.iter().map(|&n| NodeId(n)).collect();
+        let mut reps = self.replicas.lock();
+        match reps.get_mut(&seg) {
+            Some(st) => {
+                if epoch < st.epoch {
+                    return Err(RaError::PartitionUnavailable(format!(
+                        "stale mirror epoch {epoch} < {} for {seg}",
+                        st.epoch
+                    )));
+                }
+                st.members = nodes;
+                st.epoch = epoch;
+            }
+            None => {
+                reps.insert(
+                    seg,
+                    ReplicaState {
+                        members: nodes,
+                        epoch,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Push one durable page image to every backup, blocking until all
+    /// confirm. Called *after* the local store write and *before* the
+    /// client's acknowledgement, so a confirmed write exists on every
+    /// replica — the mirror quorum here is the full backup set, trading
+    /// write availability during a backup's crash window for zero lost
+    /// write-backs across promotion.
+    ///
+    /// No-op for unreplicated segments and on backups.
+    fn mirror_page(&self, seg: SysName, page: u32, data: &[u8], version: u64) -> clouds_ra::Result<()> {
+        let Some((members, epoch)) = self.primary_view(seg) else {
+            return Ok(());
+        };
+        let wire_members: Vec<u32> = members.iter().map(|n| n.0).collect();
+        for &backup in &members[1..] {
+            self.metrics.mirror_writes.inc();
+            let req = DsmRequest::MirrorWrite {
+                seg,
+                page,
+                data: data.to_vec(),
+                version,
+                members: wire_members.clone(),
+                epoch,
+            };
+            self.mirror_call(backup, &req)?;
+        }
+        Ok(())
+    }
+
+    /// Propagate a primary-side destroy to every backup.
+    fn mirror_destroy(&self, seg: SysName) -> clouds_ra::Result<()> {
+        let Some((members, epoch)) = self.primary_view(seg) else {
+            return Ok(());
+        };
+        for &backup in &members[1..] {
+            self.mirror_call(backup, &DsmRequest::MirrorDestroy { seg, epoch })?;
+        }
+        self.replicas.lock().remove(&seg);
+        self.mirror_versions.lock().retain(|(s, _), _| *s != seg);
+        Ok(())
+    }
+
+    /// The membership and epoch of `seg` if this server is its primary.
+    fn primary_view(&self, seg: SysName) -> Option<(Vec<NodeId>, u64)> {
+        let reps = self.replicas.lock();
+        let st = reps.get(&seg)?;
+        (st.members.first() == Some(&self.ratp.node_id()))
+            .then(|| (st.members.clone(), st.epoch))
+    }
+
+    /// One mirror RPC with the patient budget, mapping every failure to
+    /// a transport error the caller can surface to its client.
+    fn mirror_call(&self, backup: NodeId, req: &DsmRequest) -> clouds_ra::Result<()> {
+        match self.ratp.call_with_budget(
+            backup,
+            ports::DSM_SERVER,
+            proto::encode(req),
+            MIRROR_RETRIES,
+        ) {
+            Ok(reply) => match proto::decode::<DsmReply>(&reply)? {
+                DsmReply::Ok => Ok(()),
+                DsmReply::Err(e) => Err(e.into()),
+                other => Err(RaError::PartitionUnavailable(format!(
+                    "unexpected mirror reply {other:?}"
+                ))),
+            },
+            Err(e) => Err(RaError::PartitionUnavailable(format!(
+                "mirror to {} failed: {e}",
+                backup.0
+            ))),
+        }
+    }
+
     fn handle(&self, src: NodeId, req: DsmRequest) -> DsmReply {
         match req {
             DsmRequest::CreateSegment { seg, len } => match self.store.create(seg, len) {
                 Ok(()) => DsmReply::Ok,
                 Err(e) => DsmReply::Err(e.into()),
             },
-            DsmRequest::DestroySegment { seg } => match self.store.destroy(seg) {
-                Ok(()) => {
-                    // lint:allow(hash-iter) — retain drops entries
-                    // independently; visit order cannot be observed.
-                    self.directory.lock().pages.retain(|(s, _), _| *s != seg);
-                    DsmReply::Ok
+            DsmRequest::DestroySegment { seg } => {
+                if let Err(e) = self.check_serving(seg) {
+                    return DsmReply::Err(e.into());
                 }
-                Err(e) => DsmReply::Err(e.into()),
-            },
-            DsmRequest::SegmentLen { seg } => match self.store.get(seg) {
-                Ok(s) => DsmReply::Len(s.read().len()),
-                Err(e) => DsmReply::Err(e.into()),
-            },
+                match self.store.destroy(seg) {
+                    Ok(()) => {
+                        // lint:allow(hash-iter) — retain drops entries
+                        // independently; visit order cannot be observed.
+                        self.directory.lock().pages.retain(|(s, _), _| *s != seg);
+                        if let Err(e) = self.mirror_destroy(seg) {
+                            return DsmReply::Err(e.into());
+                        }
+                        DsmReply::Ok
+                    }
+                    Err(e) => DsmReply::Err(e.into()),
+                }
+            }
+            DsmRequest::SegmentLen { seg } => {
+                if let Err(e) = self.check_serving(seg) {
+                    return DsmReply::Err(e.into());
+                }
+                match self.store.get(seg) {
+                    Ok(s) => DsmReply::Len(s.read().len()),
+                    Err(e) => DsmReply::Err(e.into()),
+                }
+            }
             DsmRequest::FetchPage { seg, page, mode } => {
+                if let Err(e) = self.check_serving(seg) {
+                    return DsmReply::Err(e.into());
+                }
                 self.metrics.fetch_rpcs.inc();
                 self.fetch(src, seg, page, mode)
             }
@@ -299,6 +711,9 @@ impl DsmServer {
                 count,
                 mode,
             } => {
+                if let Err(e) = self.check_serving(seg) {
+                    return DsmReply::Err(e.into());
+                }
                 self.metrics.fetch_rpcs.inc();
                 self.metrics.batch_fetches.inc();
                 self.fetch_pages(src, seg, first, count, mode)
@@ -308,7 +723,12 @@ impl DsmServer {
                 page,
                 data,
                 release,
-            } => self.write_back(src, seg, page, &data, release),
+            } => {
+                if let Err(e) = self.check_serving(seg) {
+                    return DsmReply::Err(e.into());
+                }
+                self.write_back(src, seg, page, &data, release)
+            }
             DsmRequest::WriteBackBatch { pages } => self.write_back_batch(&pages),
             DsmRequest::ReleasePage { seg, page } => {
                 self.forget_copy(src, seg, page);
@@ -338,6 +758,28 @@ impl DsmServer {
                 }
                 DsmReply::Ok
             }
+            DsmRequest::CreateReplicated { seg, len, members } => {
+                self.create_replicated(seg, len, &members)
+            }
+            DsmRequest::MirrorCreate {
+                seg,
+                len,
+                members,
+                epoch,
+            } => self.apply_mirror_create(src, seg, len, &members, epoch),
+            DsmRequest::MirrorWrite {
+                seg,
+                page,
+                data,
+                version,
+                members,
+                epoch,
+            } => self.apply_mirror_write(src, seg, page, &data, version, &members, epoch),
+            DsmRequest::MirrorDestroy { seg, epoch } => self.apply_mirror_destroy(seg, epoch),
+            DsmRequest::PromoteSegment { seg, epoch } => match self.promote_segment(seg, epoch) {
+                Ok(()) => DsmReply::Ok,
+                Err(e) => DsmReply::Err(e.into()),
+            },
         }
     }
 
@@ -693,8 +1135,20 @@ impl DsmServer {
 
     fn apply_write_back(&self, seg: SysName, page: u32, data: &[u8]) {
         if let Ok(segment) = self.store.get(seg) {
-            if segment.write().write_page(page, data).is_ok() {
+            if let Ok(version) = segment.write().write_page(page, data) {
                 self.metrics.write_backs.inc();
+                // Recalled dirty data was never acknowledged to its
+                // writer, so a lost mirror here cannot violate the
+                // committed-durable invariant — but push it with the
+                // full patient budget anyway so replicas stay
+                // byte-identical, and make the rare failure loud.
+                if let Err(e) = self.mirror_page(seg, page, data, version) {
+                    self.obs.instant(
+                        "dsm.server",
+                        "mirror_recall_failed",
+                        format!("seg={seg} page={page}: {e}"),
+                    );
+                }
             }
         }
     }
@@ -709,14 +1163,20 @@ impl DsmServer {
         data: &[u8],
         release: bool,
     ) -> DsmReply {
-        match self.store.get(seg) {
-            Ok(segment) => {
-                if let Err(e) = segment.write().write_page(page, data) {
-                    return DsmReply::Err(e.into());
+        let version = match self.store.get(seg) {
+            Ok(segment) => match segment.write().write_page(page, data) {
+                Ok(version) => {
+                    self.metrics.write_backs.inc();
+                    version
                 }
-                self.metrics.write_backs.inc();
-            }
+                Err(e) => return DsmReply::Err(e.into()),
+            },
             Err(e) => return DsmReply::Err(e.into()),
+        };
+        // Mirror before acknowledging: once the client sees Ok, every
+        // replica must be able to serve this image after a failover.
+        if let Err(e) = self.mirror_page(seg, page, data, version) {
+            return DsmReply::Err(e.into());
         }
         if release {
             self.forget_copy(src, seg, page);
@@ -737,15 +1197,23 @@ impl DsmServer {
         );
         let results = pages
             .iter()
-            .map(|p| match self.store.get(p.seg) {
-                Ok(segment) => match segment.write().write_page(p.page, &p.data) {
-                    Ok(version) => {
-                        self.metrics.write_backs.inc();
-                        Ok(version)
-                    }
+            .map(|p| {
+                let version = match self.store.get(p.seg) {
+                    Ok(segment) => match segment.write().write_page(p.page, &p.data) {
+                        Ok(version) => {
+                            self.metrics.write_backs.inc();
+                            version
+                        }
+                        Err(e) => return Err(e.into()),
+                    },
+                    Err(e) => return Err(e.into()),
+                };
+                // Per-page mirror before the per-page Ok: the batch reply
+                // acknowledges exactly the pages every replica now holds.
+                match self.mirror_page(p.seg, p.page, &p.data, version) {
+                    Ok(()) => Ok(version),
                     Err(e) => Err(e.into()),
-                },
-                Err(e) => Err(e.into()),
+                }
             })
             .collect();
         DsmReply::WriteBackResults { results }

@@ -71,6 +71,32 @@ pub enum NameRequest {
         /// Name prefix; empty string lists everything.
         prefix: String,
     },
+    /// Record a segment's replica set (primary + ordered backups) at
+    /// epoch 1; fails if the segment already has one.
+    RegisterReplicas {
+        /// The replicated segment.
+        seg: SysName,
+        /// Serving primary (raw [`NodeId`] value).
+        primary: u32,
+        /// Backup homes, in promotion order (raw [`NodeId`] values).
+        backups: Vec<u32>,
+    },
+    /// Fetch a segment's current replica set.
+    LookupReplicas {
+        /// The replicated segment.
+        seg: SysName,
+    },
+    /// Re-home `seg` onto `new_primary` at `epoch`. Idempotent: applied
+    /// only when `epoch` exceeds the directory's current epoch for the
+    /// segment, so duplicate or late promotion messages are no-ops.
+    Promote {
+        /// The replicated segment.
+        seg: SysName,
+        /// The backup being promoted (raw [`NodeId`] value).
+        new_primary: u32,
+        /// Proposed epoch; must be greater than the current one to win.
+        epoch: u64,
+    },
 }
 
 /// Replies from the name server.
@@ -86,8 +112,37 @@ pub enum NameReply {
     NotFound,
     /// Register of an already-bound name.
     AlreadyBound,
+    /// Replica-set result: the set as the directory now records it.
+    Replicas(ReplicaSet),
     /// Malformed request.
     Bad,
+}
+
+/// A segment's homes as recorded by the directory: the serving primary,
+/// the backups in promotion order, and the epoch that fences stale
+/// promotions. Node ids are raw [`NodeId`] values (`u32`) because the
+/// set travels on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaSet {
+    /// The serving primary's raw node id.
+    pub primary: u32,
+    /// Backup homes in promotion order, raw node ids.
+    pub backups: Vec<u32>,
+    /// Monotone re-homing epoch; starts at 1, bumped by each applied
+    /// [`NameRequest::Promote`].
+    pub epoch: u64,
+}
+
+impl ReplicaSet {
+    /// The primary as a [`NodeId`].
+    pub fn primary_node(&self) -> NodeId {
+        NodeId(self.primary)
+    }
+
+    /// The backups as [`NodeId`]s, in promotion order.
+    pub fn backup_nodes(&self) -> Vec<NodeId> {
+        self.backups.iter().map(|&n| NodeId(n)).collect()
+    }
 }
 
 /// Errors surfaced by [`NameClient`].
@@ -117,6 +172,10 @@ impl std::error::Error for NameError {}
 /// The name server: a flat, ordered map of user names to sysnames.
 pub struct NameServer {
     bindings: RwLock<BTreeMap<String, SysName>>,
+    /// Per-segment replica sets for segments stored redundantly across
+    /// data servers. Separate from `bindings`: these map *sysnames* to
+    /// homes, not user names to sysnames.
+    replicas: RwLock<BTreeMap<SysName, ReplicaSet>>,
     /// Keeps the node's transport (and its receive loop) alive for as
     /// long as the service exists.
     _ratp: RwLock<Option<Arc<RatpNode>>>,
@@ -134,6 +193,7 @@ impl Default for NameServer {
     fn default() -> Self {
         NameServer {
             bindings: RwLock::new(BTreeMap::new()),
+            replicas: RwLock::new(BTreeMap::new()),
             _ratp: RwLock::new(None),
         }
     }
@@ -182,7 +242,60 @@ impl NameServer {
                     .map(|(k, v)| (k.clone(), *v))
                     .collect(),
             ),
+            NameRequest::RegisterReplicas {
+                seg,
+                primary,
+                backups,
+            } => {
+                let mut r = self.replicas.write();
+                if let std::collections::btree_map::Entry::Vacant(e) = r.entry(seg) {
+                    let set = ReplicaSet {
+                        primary,
+                        backups,
+                        epoch: 1,
+                    };
+                    e.insert(set.clone());
+                    NameReply::Replicas(set)
+                } else {
+                    NameReply::AlreadyBound
+                }
+            }
+            NameRequest::LookupReplicas { seg } => match self.replicas.read().get(&seg) {
+                Some(set) => NameReply::Replicas(set.clone()),
+                None => NameReply::NotFound,
+            },
+            NameRequest::Promote {
+                seg,
+                new_primary,
+                epoch,
+            } => match self.replicas.write().get_mut(&seg) {
+                None => NameReply::NotFound,
+                Some(set) => {
+                    // Epoch fencing makes re-homing idempotent: only a
+                    // strictly newer epoch changes anything, so duplicate
+                    // promotion messages (retransmits, two monitors
+                    // racing to the same verdict) converge on one
+                    // winner. The demoted primary stays in the set as a
+                    // backup — a restarted machine can be re-promoted.
+                    if epoch > set.epoch {
+                        if set.primary != new_primary {
+                            let old = set.primary;
+                            set.backups.retain(|&b| b != new_primary);
+                            set.backups.push(old);
+                            set.primary = new_primary;
+                        }
+                        set.epoch = epoch;
+                    }
+                    NameReply::Replicas(set.clone())
+                }
+            },
         }
+    }
+
+    /// The directory's current replica set for `seg`, if registered
+    /// (diagnostics and co-located callers).
+    pub fn replica_set(&self, seg: SysName) -> Option<ReplicaSet> {
+        self.replicas.read().get(&seg).cloned()
     }
 
     /// Number of bindings (diagnostics).
@@ -295,6 +408,68 @@ impl NameClient {
             other => Err(NameError::Unavailable(format!("unexpected reply {other:?}"))),
         }
     }
+
+    /// Record `seg`'s replica set (epoch 1).
+    ///
+    /// # Errors
+    ///
+    /// [`NameError::AlreadyBound`] if the segment already has a set,
+    /// [`NameError::Unavailable`] on transport failure.
+    pub fn register_replicas(
+        &self,
+        seg: SysName,
+        primary: NodeId,
+        backups: &[NodeId],
+    ) -> Result<ReplicaSet, NameError> {
+        match self.call(&NameRequest::RegisterReplicas {
+            seg,
+            primary: primary.0,
+            backups: backups.iter().map(|n| n.0).collect(),
+        })? {
+            NameReply::Replicas(set) => Ok(set),
+            NameReply::AlreadyBound => Err(NameError::AlreadyBound(seg.to_string())),
+            other => Err(NameError::Unavailable(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Fetch `seg`'s current replica set.
+    ///
+    /// # Errors
+    ///
+    /// [`NameError::NotFound`] if the segment has no set,
+    /// [`NameError::Unavailable`] on transport failure.
+    pub fn lookup_replicas(&self, seg: SysName) -> Result<ReplicaSet, NameError> {
+        match self.call(&NameRequest::LookupReplicas { seg })? {
+            NameReply::Replicas(set) => Ok(set),
+            NameReply::NotFound => Err(NameError::NotFound(seg.to_string())),
+            other => Err(NameError::Unavailable(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Re-home `seg` onto `new_primary` at `epoch`, returning the set as
+    /// the directory records it afterwards — unchanged if the epoch was
+    /// stale (idempotent duplicate).
+    ///
+    /// # Errors
+    ///
+    /// [`NameError::NotFound`] if the segment has no set,
+    /// [`NameError::Unavailable`] on transport failure.
+    pub fn promote(
+        &self,
+        seg: SysName,
+        new_primary: NodeId,
+        epoch: u64,
+    ) -> Result<ReplicaSet, NameError> {
+        match self.call(&NameRequest::Promote {
+            seg,
+            new_primary: new_primary.0,
+            epoch,
+        })? {
+            NameReply::Replicas(set) => Ok(set),
+            NameReply::NotFound => Err(NameError::NotFound(seg.to_string())),
+            other => Err(NameError::Unavailable(format!("unexpected reply {other:?}"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -378,6 +553,72 @@ mod tests {
         let all = client.list("").unwrap();
         assert_eq!(all.len(), 3);
         assert!(client.list("zzz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn replica_set_register_lookup() {
+        let (_net, server, client) = bed();
+        let seg = s(7);
+        let set = client
+            .register_replicas(seg, NodeId(100), &[NodeId(101), NodeId(102)])
+            .unwrap();
+        assert_eq!(set.primary_node(), NodeId(100));
+        assert_eq!(set.backup_nodes(), vec![NodeId(101), NodeId(102)]);
+        assert_eq!(set.epoch, 1);
+        assert_eq!(client.lookup_replicas(seg).unwrap(), set);
+        assert_eq!(server.replica_set(seg).unwrap(), set);
+        // A second registration is refused, the first is intact.
+        assert!(matches!(
+            client.register_replicas(seg, NodeId(103), &[]),
+            Err(NameError::AlreadyBound(_))
+        ));
+        assert_eq!(client.lookup_replicas(seg).unwrap().primary, 100);
+        // Unknown segments have no set.
+        assert!(matches!(
+            client.lookup_replicas(s(8)),
+            Err(NameError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn promotion_is_idempotent_under_duplicates() {
+        let (_net, _server, client) = bed();
+        let seg = s(9);
+        client
+            .register_replicas(seg, NodeId(100), &[NodeId(101), NodeId(102)])
+            .unwrap();
+
+        // First promotion wins: backup 101 becomes primary at epoch 2,
+        // the demoted primary joins the backups.
+        let set = client.promote(seg, NodeId(101), 2).unwrap();
+        assert_eq!(set.primary_node(), NodeId(101));
+        assert_eq!(set.backup_nodes(), vec![NodeId(102), NodeId(100)]);
+        assert_eq!(set.epoch, 2);
+
+        // The same promotion delivered again (retransmit, or a second
+        // monitor reaching the same verdict): byte-identical outcome.
+        let dup = client.promote(seg, NodeId(101), 2).unwrap();
+        assert_eq!(dup, set);
+
+        // A *stale* promotion (lower epoch, different target) is fenced
+        // off entirely — the directory does not regress.
+        let stale = client.promote(seg, NodeId(102), 2).unwrap();
+        assert_eq!(stale, set);
+        let staler = client.promote(seg, NodeId(100), 1).unwrap();
+        assert_eq!(staler, set);
+
+        // A newer epoch can re-home again, including back onto the
+        // original (restarted) primary.
+        let back = client.promote(seg, NodeId(100), 3).unwrap();
+        assert_eq!(back.primary_node(), NodeId(100));
+        assert_eq!(back.epoch, 3);
+        assert_eq!(back.backup_nodes(), vec![NodeId(102), NodeId(101)]);
+
+        // Promoting an unknown segment is NotFound, not a silent create.
+        assert!(matches!(
+            client.promote(s(10), NodeId(100), 5),
+            Err(NameError::NotFound(_))
+        ));
     }
 
     #[test]

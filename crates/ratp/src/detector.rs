@@ -1,0 +1,141 @@
+//! Virtual-time failure detection over RaTP heartbeats.
+//!
+//! Data servers beacon each other with [`crate::RatpNode::send_heartbeat`]
+//! and record arrivals in virtual time. A [`FailureDetector`] turns those
+//! stamps into a liveness verdict: a peer is declared dead when the gap
+//! since its last beacon exceeds a fixed *budget*.
+//!
+//! The budget is the whole story. Too small and a merely jittered beacon
+//! trips a false positive (promoting a backup while the primary still
+//! serves — a split brain); too large and failover is slow. The safe
+//! floor is
+//!
+//! ```text
+//! budget > interval × (missed + 1) + max_jitter
+//! ```
+//!
+//! where `interval` is the beacon period, `missed` the number of
+//! consecutive beacon losses tolerated, and `max_jitter` the worst-case
+//! extra network delay. Consecutive beacons arrive at most
+//! `interval + max_jitter` apart (the previous one can arrive with zero
+//! jitter, the next with the maximum), so any budget above that floor can
+//! only fire after real silence.
+
+use clouds_simnet::Vt;
+
+/// Liveness verdicts from virtual-time heartbeat stamps.
+///
+/// Pure state: the detector holds only its budget, so the same instance
+/// can judge any number of peers, and verdicts are a deterministic
+/// function of `(last_heard, now)` — exactly reproducible under a seeded
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureDetector {
+    budget: Vt,
+}
+
+impl FailureDetector {
+    /// Detector that declares a peer dead after `budget` of virtual-time
+    /// silence.
+    pub const fn new(budget: Vt) -> FailureDetector {
+        FailureDetector { budget }
+    }
+
+    /// The minimum safe budget for a beacon `interval`, tolerating
+    /// `missed` consecutive lost beacons under `max_jitter` of worst-case
+    /// delivery delay — the floor from the module docs, plus one
+    /// nanosecond so the comparison is strict.
+    pub const fn tolerant(interval: Vt, missed: u64, max_jitter: Vt) -> FailureDetector {
+        let floor = interval.as_nanos() * (missed + 1) + max_jitter.as_nanos();
+        FailureDetector::new(Vt::from_nanos(floor + 1))
+    }
+
+    /// The configured silence budget.
+    pub const fn budget(&self) -> Vt {
+        self.budget
+    }
+
+    /// Is a peer last heard at `last_heard` dead as of `now`?
+    ///
+    /// `None` (never heard) is *alive*: a detector that has not yet seen
+    /// a first beacon has no evidence of silence, and declaring unseen
+    /// peers dead would fire promotions at boot.
+    pub fn is_dead(&self, last_heard: Option<Vt>, now: Vt) -> bool {
+        match last_heard {
+            None => false,
+            Some(last) => now.saturating_sub(last) > self.budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The chaos schedules generate jitter bounded by horizon/32; at the
+    /// CI horizon of 200 ms that is 6.25 ms. Tests pin that relationship
+    /// so a schedule change that widens jitter breaks loudly here.
+    const HORIZON: Vt = Vt::from_millis(200);
+    const MAX_JITTER: Vt = Vt::from_nanos(HORIZON.as_nanos() / 32);
+    const INTERVAL: Vt = Vt::from_millis(5);
+
+    #[test]
+    fn never_heard_is_alive() {
+        let d = FailureDetector::new(Vt::from_millis(1));
+        assert!(!d.is_dead(None, Vt::from_millis(1_000)));
+    }
+
+    #[test]
+    fn no_false_positive_under_max_simnet_jitter() {
+        // Beacons every INTERVAL, each delayed by an adversarial jitter
+        // pattern within the simnet bound: alternating zero and maximum,
+        // which produces the worst possible inter-arrival gap.
+        let d = FailureDetector::tolerant(INTERVAL, 0, MAX_JITTER);
+        let mut last_arrival = None;
+        for i in 0..100u64 {
+            let sent = Vt::from_nanos(i * INTERVAL.as_nanos());
+            let jitter = if i % 2 == 0 { Vt::ZERO } else { MAX_JITTER };
+            let arrival = sent + jitter;
+            // Probe continuously up to this arrival: never dead.
+            if let Some(prev) = last_arrival {
+                assert!(
+                    !d.is_dead(Some(prev), arrival),
+                    "false positive at beacon {i}: gap {}",
+                    arrival.saturating_sub(prev)
+                );
+            }
+            last_arrival = Some(arrival);
+        }
+    }
+
+    #[test]
+    fn false_positive_when_budget_ignores_jitter() {
+        // The same adversarial arrival pattern defeats a naive budget of
+        // exactly one interval — demonstrating the floor is tight.
+        let naive = FailureDetector::new(INTERVAL);
+        let prev = INTERVAL; // beacon 1, zero jitter
+        let next = INTERVAL + INTERVAL + MAX_JITTER; // beacon 2, max jitter
+        assert!(naive.is_dead(Some(prev), next));
+    }
+
+    #[test]
+    fn detects_real_crash_within_budget() {
+        let d = FailureDetector::tolerant(INTERVAL, 2, MAX_JITTER);
+        let last = Vt::from_millis(42);
+        // Silence up to the budget: still alive (could be jitter+loss).
+        assert!(!d.is_dead(Some(last), last + d.budget()));
+        // One nanosecond past the budget: dead. Detection latency is
+        // therefore at most budget + the prober's check period.
+        assert!(d.is_dead(Some(last), last + d.budget() + Vt::from_nanos(1)));
+    }
+
+    #[test]
+    fn tolerant_budget_covers_missed_beacons() {
+        let d = FailureDetector::tolerant(INTERVAL, 2, MAX_JITTER);
+        // Two consecutive beacons lost: the third arrives 3 intervals +
+        // max jitter after the last heard one. Must not be declared dead.
+        let last = Vt::from_millis(10);
+        let third = last + INTERVAL.mul(3) + MAX_JITTER;
+        assert!(!d.is_dead(Some(last), third));
+    }
+}

@@ -39,9 +39,11 @@
 
 #![forbid(unsafe_code)]
 
+mod detector;
 mod node;
 mod packet;
 
+pub use detector::FailureDetector;
 pub use node::{CallError, RatpConfig, RatpNode, Request, Service};
 pub use packet::{fragment, Packet, PacketKind, Reassembly, HEADER_LEN, MAX_FRAGMENT_PAYLOAD};
 
@@ -185,6 +187,28 @@ mod tests {
         });
         let reply = a.call(NodeId(2), 10, Bytes::from_static(b"via proxy")).unwrap();
         assert_eq!(&reply[..], b"via proxy");
+    }
+
+    #[test]
+    fn heartbeats_record_arrival_in_virtual_time() {
+        let (_net, a, b) = testbed(CostModel::sun3_ethernet());
+        assert!(b.last_heartbeat(NodeId(1)).is_none(), "no beacon yet");
+        let sent_at = a.clock().now();
+        a.send_heartbeat(NodeId(2));
+        let mut heard = None;
+        for _ in 0..400 {
+            heard = b.last_heartbeat(NodeId(1));
+            if heard.is_some() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let heard = heard.expect("beacon delivered");
+        // The arrival stamp reflects wire time: at least the send time
+        // (the receiver's clock advanced to the frame's arrival).
+        assert!(heard >= sent_at, "heard {heard} < sent {sent_at}");
+        // Heartbeats are fire-and-forget: no pending call, no reply.
+        assert!(a.last_heartbeat(NodeId(2)).is_none());
     }
 
     #[test]

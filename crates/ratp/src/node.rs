@@ -4,10 +4,10 @@
 use crate::packet::{fragment, Packet, PacketKind, Reassembly};
 use bytes::Bytes;
 use clouds_obs::{current_ctx, install_ctx, Counter, Histogram, NodeObs, SpanContext};
-use clouds_simnet::{Endpoint, NodeId, RecvError, SendError, VirtualClock};
+use clouds_simnet::{Endpoint, NodeId, RecvError, SendError, VirtualClock, Vt};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -135,6 +135,10 @@ pub struct RatpNode {
     services: RwLock<HashMap<u16, Arc<dyn Service>>>,
     pending: Mutex<HashMap<u64, Pending>>,
     server: Mutex<ServerState>,
+    /// Last local virtual time a liveness beacon arrived from each peer.
+    /// A `BTreeMap` so iteration (debug dumps, detectors sweeping all
+    /// peers) is deterministic.
+    heartbeats: Mutex<BTreeMap<NodeId, Vt>>,
     txn_counter: AtomicU64,
     running: AtomicBool,
     obs: Arc<NodeObs>,
@@ -150,6 +154,8 @@ struct RatpMetrics {
     replies: Arc<Counter>,
     replays: Arc<Counter>,
     notifies: Arc<Counter>,
+    heartbeats_sent: Arc<Counter>,
+    heartbeats_received: Arc<Counter>,
     rtt: Arc<Histogram>,
 }
 
@@ -162,6 +168,8 @@ impl RatpMetrics {
             replies: obs.counter("ratp.replies"),
             replays: obs.counter("ratp.reply_replays"),
             notifies: obs.counter("ratp.notifies"),
+            heartbeats_sent: obs.counter("ratp.heartbeats_sent"),
+            heartbeats_received: obs.counter("ratp.heartbeats_received"),
             rtt: obs.histogram("ratp.call"),
         }
     }
@@ -199,6 +207,7 @@ impl RatpNode {
             services: RwLock::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
             server: Mutex::new(ServerState::default()),
+            heartbeats: Mutex::new(BTreeMap::new()),
             txn_counter: AtomicU64::new(1),
             running: AtomicBool::new(true),
             obs,
@@ -245,6 +254,7 @@ impl RatpNode {
     pub fn reset_volatile_state(&self) {
         self.pending.lock().clear();
         *self.server.lock() = ServerState::default();
+        self.heartbeats.lock().clear();
     }
 
     /// Stop the receive loop. Further calls will time out.
@@ -281,6 +291,33 @@ impl RatpNode {
             self.endpoint.clock().charge(self.cost().transport_packet);
             let _ = self.endpoint.send(dst, packet.encode());
         }
+    }
+
+    /// Transmit one liveness beacon to `dst`: a single
+    /// [`PacketKind::Heartbeat`] packet stamped with this node's current
+    /// virtual time. Fire-and-forget — loss is tolerable because beacons
+    /// repeat and the failure detector budgets for gaps.
+    pub fn send_heartbeat(&self, dst: NodeId) {
+        self.metrics.heartbeats_sent.inc();
+        let now = self.endpoint.clock().now();
+        let pkt = Packet {
+            kind: PacketKind::Heartbeat,
+            port: 0,
+            txn: 0,
+            frag_index: 0,
+            frag_count: 1,
+            ctx: SpanContext::NONE,
+            payload: Bytes::copy_from_slice(&now.as_nanos().to_le_bytes()),
+        };
+        self.endpoint.clock().charge(self.cost().transport_packet);
+        let _ = self.endpoint.send(dst, pkt.encode());
+    }
+
+    /// Local virtual time at which the most recent heartbeat from `peer`
+    /// arrived, or `None` if none has (since boot or the last
+    /// [`RatpNode::reset_volatile_state`]).
+    pub fn last_heartbeat(&self, peer: NodeId) -> Option<Vt> {
+        self.heartbeats.lock().get(&peer).copied()
     }
 
     /// [`RatpNode::call`] with an explicit retransmission budget.
@@ -394,6 +431,7 @@ fn receive_loop(weak: Weak<RatpNode>) {
                     match pkt.kind {
                         PacketKind::Request => handle_request_fragment(&node, src, pkt),
                         PacketKind::Notify => handle_notify_fragment(&node, src, pkt),
+                        PacketKind::Heartbeat => handle_heartbeat(&node, src, pkt),
                         PacketKind::Reply | PacketKind::NoService => {
                             handle_reply_fragment(&node, pkt)
                         }
@@ -506,6 +544,21 @@ fn handle_notify_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
             let _ = node; // keep the node alive while the handler runs
         })
         .expect("spawn ratp notify handler thread");
+}
+
+/// Record a liveness beacon. The stamp stored is the *receiver's* local
+/// virtual time — message receipt already advanced this clock to the
+/// frame's arrival time, so "local now" is exactly when the peer was
+/// last known alive, which is what the failure detector compares
+/// against. Handled inline (no thread, no reply): a beacon costs one
+/// packet end to end.
+fn handle_heartbeat(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
+    if pkt.payload.len() != 8 {
+        return; // malformed beacon: drop, the next one is coming anyway
+    }
+    node.metrics.heartbeats_received.inc();
+    let heard = node.endpoint.clock().now();
+    node.heartbeats.lock().insert(src, heard);
 }
 
 fn encode_reply(kind: PacketKind, port: u16, txn: u64, reply: Bytes) -> Arc<Vec<Bytes>> {

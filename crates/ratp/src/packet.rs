@@ -6,7 +6,8 @@
 //! byte 0      ver | kind  high nibble: wire version (1); low nibble:
 //!                          kind (1 = request fragment, 2 = reply
 //!                          fragment, 3 = negative reply: service not
-//!                          found, 4 = one-way notify)
+//!                          found, 4 = one-way notify, 5 = liveness
+//!                          heartbeat)
 //! bytes 1..3  port        destination service (requests) / 0 (replies)
 //! bytes 3..11 txn         transaction id (client node id << 32 | counter)
 //! bytes 11..13 frag_index fragment number, 0-based
@@ -81,6 +82,12 @@ pub enum PacketKind {
     /// exactly its own transmission — a `Request` would make the
     /// receiver synthesize, send and bill a reply nobody is waiting for.
     Notify = 4,
+    /// Liveness beacon between data servers: a single unfragmented
+    /// packet whose payload is the sender's virtual clock (8 bytes,
+    /// little-endian). Handled inside the receive loop — no service, no
+    /// handler thread, no reply — so a heartbeat costs exactly one
+    /// packet and cannot be delayed by a busy dispatcher.
+    Heartbeat = 5,
 }
 
 impl PacketKind {
@@ -90,6 +97,7 @@ impl PacketKind {
             2 => Some(PacketKind::Reply),
             3 => Some(PacketKind::NoService),
             4 => Some(PacketKind::Notify),
+            5 => Some(PacketKind::Heartbeat),
             _ => None,
         }
     }
@@ -324,6 +332,21 @@ mod tests {
         let wire = p.encode();
         assert_eq!(wire.len(), HEADER_LEN + CTX_LEN + 5);
         let decoded = Packet::decode(wire).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn heartbeat_roundtrip() {
+        let p = Packet {
+            kind: PacketKind::Heartbeat,
+            port: 0,
+            txn: 0,
+            frag_index: 0,
+            frag_count: 1,
+            ctx: SpanContext::NONE,
+            payload: Bytes::copy_from_slice(&42u64.to_le_bytes()),
+        };
+        let decoded = Packet::decode(p.encode()).unwrap();
         assert_eq!(decoded, p);
     }
 
