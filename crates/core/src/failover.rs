@@ -99,6 +99,29 @@ pub(crate) fn spawn_monitor(
     stop
 }
 
+/// Refresh every replicated segment's membership view from the naming
+/// directory. Returns `true` only when every lookup reached a verdict —
+/// an adopted set, or `NotFound` for a segment the directory never knew
+/// (nothing could have re-homed it through the directory). Any
+/// transport failure returns `false`: the caller must keep the server
+/// fenced and retry, or a rebooted ex-primary would resume serving on a
+/// stale pre-crash view in which it is still primary.
+pub(crate) fn refresh_replica_views(dsm: &DsmServer, naming: &NameClient) -> bool {
+    let mut all_refreshed = true;
+    for (seg, _, _) in dsm.replicated_segments() {
+        match naming.lookup_replicas(seg) {
+            Ok(set) => {
+                let mut members = vec![set.primary_node()];
+                members.extend(set.backup_nodes());
+                dsm.adopt_replica_config(seg, members, set.epoch);
+            }
+            Err(clouds_naming::NameError::NotFound(_)) => {}
+            Err(_) => all_refreshed = false,
+        }
+    }
+    all_refreshed
+}
+
 fn monitor_loop(
     ratp: &Arc<RatpNode>,
     dsm: &Arc<DsmServer>,
@@ -120,6 +143,19 @@ fn monitor_loop(
         ratp.clock().charge(config.beacon_interval);
         for &peer in peers {
             ratp.send_heartbeat(peer);
+        }
+        // A restart that could not reach the directory leaves the
+        // server fenced ([`crate::node::DataServer::resync_replicas`]);
+        // finish the resync here, where naming calls are already
+        // retried every tick. While fenced, skip the promotion sweep
+        // too — promoting on a stale pre-crash view could depose the
+        // wrong node.
+        if dsm.is_recovering() {
+            if refresh_replica_views(dsm, &naming) {
+                dsm.finish_recovery();
+            } else {
+                continue;
+            }
         }
         let now = ratp.clock().now();
         for (seg, members, epoch) in dsm.replicated_segments() {

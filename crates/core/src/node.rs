@@ -822,6 +822,13 @@ struct FailoverState {
     naming_server: NodeId,
 }
 
+/// Restart-time directory resync attempts before the remaining work is
+/// left to the failover monitor's per-tick retry (the server stays
+/// fenced meanwhile).
+const RESYNC_ATTEMPTS: u32 = 3;
+/// Pause between restart-time resync attempts.
+const RESYNC_BACKOFF: std::time::Duration = std::time::Duration::from_millis(5);
+
 impl fmt::Debug for DataServer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DataServer")
@@ -977,19 +984,35 @@ impl DataServer {
     /// directory, then resume serving. The counterpart of
     /// [`DataServer::lose_volatile_state`] for harnesses that restore
     /// connectivity themselves.
+    ///
+    /// Serving resumes only once *every* replicated segment's view was
+    /// successfully refreshed. If the directory stays unreachable past a
+    /// short retry budget the server remains fenced — resuming on the
+    /// stale pre-crash view (in which this server may still be primary)
+    /// is exactly the split brain the fence exists to prevent — and the
+    /// failover monitor, which retries naming calls every tick, lifts
+    /// the fence when a later full refresh succeeds.
     pub fn resync_replicas(&self) {
         let naming_server = self.failover.lock().as_ref().map(|st| st.naming_server);
-        if let Some(ns) = naming_server {
-            let directory = NameClient::new(&self.ratp, ns);
-            for (seg, _, _) in self.dsm.replicated_segments() {
-                if let Ok(set) = directory.lookup_replicas(seg) {
-                    let mut members = vec![set.primary_node()];
-                    members.extend(set.backup_nodes());
-                    self.dsm.adopt_replica_config(seg, members, set.epoch);
-                }
+        let Some(ns) = naming_server else {
+            // No failover monitor was ever configured, so nothing could
+            // have re-homed segments while this server was down.
+            self.dsm.finish_recovery();
+            return;
+        };
+        let directory = NameClient::new(&self.ratp, ns);
+        for _ in 0..RESYNC_ATTEMPTS {
+            if failover::refresh_replica_views(&self.dsm, &directory) {
+                self.dsm.finish_recovery();
+                return;
             }
+            std::thread::sleep(RESYNC_BACKOFF);
         }
-        self.dsm.finish_recovery();
+        self.ratp.obs().instant(
+            "core.failover",
+            "resync_deferred",
+            "naming directory unreachable; replicated segments stay fenced".to_string(),
+        );
     }
 }
 

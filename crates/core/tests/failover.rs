@@ -88,6 +88,18 @@ impl Client {
     }
 }
 
+/// Detection and promotion are driven by real-time monitor ticks, so
+/// these tests are timing sensitive: run in parallel, one bed's nine
+/// monitor/beacon threads can starve another's detector past the
+/// client's failover-retry budget. Each test holds this guard to run
+/// alone (poison from an earlier panic is irrelevant — the guard
+/// carries no data).
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Poll `check` until it passes or `deadline` elapses.
 fn wait_for(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
     let start = Instant::now();
@@ -102,6 +114,7 @@ fn wait_for(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
 
 #[test]
 fn primary_crash_promotes_backup_and_re_homes() {
+    let _serial = serial();
     let bed = bed();
     let s = seg(1);
     // Primary on 101 so the naming host (100) stays up through the crash.
@@ -179,8 +192,72 @@ fn primary_crash_promotes_backup_and_re_homes() {
     assert_eq!(fresh.space(s, 1).read(0, 8).unwrap(), b"rejoined");
 }
 
+/// A rebooted ex-primary that cannot reach the naming directory must
+/// NOT resume serving on its stale pre-crash view (in which it is still
+/// primary) — that is the split brain the recovery fence exists to
+/// prevent. It stays fenced, and the failover monitor's per-tick retry
+/// lifts the fence once the directory is reachable again.
+#[test]
+fn restart_with_unreachable_directory_stays_fenced_until_resync() {
+    let _serial = serial();
+    let bed = bed();
+    let s = seg(3);
+    let members = [bed.nodes[1], bed.nodes[2], bed.nodes[0]];
+    let writer = Client::new(&bed, 1);
+    writer
+        .part
+        .create_replicated_segment(s, PAGE_SIZE as u64, &members)
+        .unwrap();
+    let directory = NameClient::new(writer.part.ratp(), bed.nodes[0]);
+    directory
+        .register_replicas(s, members[0], &members[1..])
+        .unwrap();
+    let ws = writer.space(s, 1);
+    ws.write(0, b"fenced!!").unwrap();
+    ws.flush().unwrap();
+
+    bed.datas[1].crash(&bed.net);
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            bed.datas[0]
+                .naming()
+                .unwrap()
+                .replica_set(s)
+                .is_some_and(|set| set.primary_node() == bed.nodes[2] && set.epoch == 2)
+        }),
+        "directory never re-homed after the primary crash"
+    );
+
+    // Cut the naming host off, then restart the demoted ex-primary: its
+    // resync cannot learn of the demotion, so serving must stay fenced.
+    bed.net.crash(bed.nodes[0]);
+    bed.datas[1].restart(&bed.net);
+    assert!(
+        bed.datas[1].dsm().is_recovering(),
+        "resumed serving on a stale pre-crash view with the directory unreachable"
+    );
+
+    // Directory back: the monitor's per-tick retry finishes the resync,
+    // adopting the demoted view before the fence lifts.
+    bed.net.restart(bed.nodes[0]);
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            !bed.datas[1].dsm().is_recovering()
+        }),
+        "fence never lifted after the directory became reachable"
+    );
+    assert_eq!(
+        bed.datas[1].dsm().replica_view(s),
+        Some((vec![bed.nodes[2], bed.nodes[0], bed.nodes[1]], 2))
+    );
+    // And the committed bytes are still served by the promoted backup.
+    let fresh = Client::new(&bed, 4);
+    assert_eq!(fresh.space(s, 1).read(0, 8).unwrap(), b"fenced!!");
+}
+
 #[test]
 fn healthy_primary_is_never_deposed() {
+    let _serial = serial();
     let bed = bed();
     let s = seg(2);
     let members = [bed.nodes[1], bed.nodes[2], bed.nodes[0]];

@@ -515,7 +515,10 @@ impl DsmClientPartition {
     /// home and rediscovers, up to [`FAILOVER_ATTEMPTS`] times. An
     /// in-flight fetch or write-back therefore lands on the *new* primary
     /// after a failover instead of surfacing the crash to the fault
-    /// handler.
+    /// handler. `ReplicaUnavailable` is *not* retried — the home is
+    /// reachable but one of its backups is not, so each re-resolution
+    /// would find the same home and burn the full mirror patience again;
+    /// it surfaces promptly instead.
     fn on_home<T>(
         &self,
         seg: SysName,
@@ -688,6 +691,21 @@ impl Partition for DsmClientPartition {
         for (idxs, group_results) in outcomes {
             for (i, r) in idxs.into_iter().zip(group_results) {
                 results[i] = r;
+            }
+        }
+        // Pages fenced off by a stale home — `SegmentNotFound` from a
+        // demoted ex-primary or a not-yet-promoted backup — are
+        // re-driven through the single-page path, whose `on_home` loop
+        // drops the cached home and rediscovers across the failover.
+        // Only the fencing error is re-driven: a transport failure
+        // (`PartitionUnavailable`) keeps the historical flush contract
+        // (the flush fails, frames stay dirty, the caller retries), and
+        // `ReplicaUnavailable` means the home answered but a backup is
+        // down — re-resolution cannot change either.
+        for (i, item) in items.iter().enumerate() {
+            if matches!(results[i], Err(RaError::SegmentNotFound(_))) {
+                self.forget_home(item.seg);
+                results[i] = self.write_back(item.seg, item.page, &item.data);
             }
         }
         results

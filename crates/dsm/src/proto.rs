@@ -306,6 +306,11 @@ pub enum WireError {
     OutOfRange(SysName),
     /// Any other failure, described as text.
     Other(String),
+    /// See [`RaError::ReplicaUnavailable`]. Carried distinctly so a
+    /// client can tell "home unreachable" (re-resolve the home) from
+    /// "home reachable but a backup is down" (re-resolution cannot
+    /// help; surface promptly).
+    ReplicaUnavailable(String),
 }
 
 impl From<RaError> for WireError {
@@ -314,6 +319,7 @@ impl From<RaError> for WireError {
             RaError::SegmentNotFound(s) => WireError::SegmentNotFound(s),
             RaError::SegmentExists(s) => WireError::SegmentExists(s),
             RaError::OutOfRange { segment, .. } => WireError::OutOfRange(segment),
+            RaError::ReplicaUnavailable(m) => WireError::ReplicaUnavailable(m),
             other => WireError::Other(other.to_string()),
         }
     }
@@ -331,6 +337,7 @@ impl From<WireError> for RaError {
                 segment_len: 0,
             },
             WireError::Other(m) => RaError::PartitionUnavailable(m),
+            WireError::ReplicaUnavailable(m) => RaError::ReplicaUnavailable(m),
         }
     }
 }
@@ -376,6 +383,19 @@ mod tests {
             }
             other => panic!("wrong decode: {other:?}"),
         }
+    }
+
+    #[test]
+    fn replica_unavailable_survives_the_wire() {
+        // A mirror failure must reach the client as ReplicaUnavailable,
+        // not be flattened into PartitionUnavailable — the client's
+        // failover loop re-resolves the latter up to 10 times, each
+        // paying the full mirror patience against an outage that
+        // re-resolution cannot fix.
+        let e = RaError::ReplicaUnavailable("backup 11 down".into());
+        let wire: WireError = e.clone().into();
+        let back: RaError = decode::<WireError>(&encode(&wire)).unwrap().into();
+        assert_eq!(back, e);
     }
 
     #[test]

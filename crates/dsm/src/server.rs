@@ -365,6 +365,13 @@ impl DsmServer {
         self.recovering.store(false, Ordering::SeqCst);
     }
 
+    /// Still fenced between [`DsmServer::begin_recovery`] and
+    /// [`DsmServer::finish_recovery`]? The failover monitor keeps
+    /// retrying the directory resync while this holds.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering.load(Ordering::SeqCst)
+    }
+
     /// This server's view of `seg`'s replica set, if replicated:
     /// membership in promotion order (`[0]` = primary) and epoch.
     pub fn replica_view(&self, seg: SysName) -> Option<(Vec<NodeId>, u64)> {
@@ -622,7 +629,10 @@ impl DsmServer {
         Ok(())
     }
 
-    /// Propagate a primary-side destroy to every backup.
+    /// Propagate a destroy to every backup. Local replica bookkeeping is
+    /// the *caller's* to clean up, and only after its own store drop
+    /// succeeds — keeping the entry (and the segment) until every backup
+    /// confirmed makes a partially failed destroy retriable.
     fn mirror_destroy(&self, seg: SysName) -> clouds_ra::Result<()> {
         let Some((members, epoch)) = self.primary_view(seg) else {
             return Ok(());
@@ -630,8 +640,6 @@ impl DsmServer {
         for &backup in &members[1..] {
             self.mirror_call(backup, &DsmRequest::MirrorDestroy { seg, epoch })?;
         }
-        self.replicas.lock().remove(&seg);
-        self.mirror_versions.lock().retain(|(s, _), _| *s != seg);
         Ok(())
     }
 
@@ -643,8 +651,13 @@ impl DsmServer {
             .then(|| (st.members.clone(), st.epoch))
     }
 
-    /// One mirror RPC with the patient budget, mapping every failure to
-    /// a transport error the caller can surface to its client.
+    /// One mirror RPC with the patient budget. A backup that cannot be
+    /// reached maps to [`RaError::ReplicaUnavailable`] — the home itself
+    /// is fine, so the client must not burn failover attempts
+    /// re-resolving it. A backup that *answers* with an error (e.g. the
+    /// epoch fence rejecting a demoted ex-primary's push) passes the
+    /// error through unchanged, so the fencing `PartitionUnavailable`
+    /// still drives the client's home re-resolution.
     fn mirror_call(&self, backup: NodeId, req: &DsmRequest) -> clouds_ra::Result<()> {
         match self.ratp.call_with_budget(
             backup,
@@ -655,11 +668,11 @@ impl DsmServer {
             Ok(reply) => match proto::decode::<DsmReply>(&reply)? {
                 DsmReply::Ok => Ok(()),
                 DsmReply::Err(e) => Err(e.into()),
-                other => Err(RaError::PartitionUnavailable(format!(
+                other => Err(RaError::ReplicaUnavailable(format!(
                     "unexpected mirror reply {other:?}"
                 ))),
             },
-            Err(e) => Err(RaError::PartitionUnavailable(format!(
+            Err(e) => Err(RaError::ReplicaUnavailable(format!(
                 "mirror to {} failed: {e}",
                 backup.0
             ))),
@@ -676,14 +689,22 @@ impl DsmServer {
                 if let Err(e) = self.check_serving(seg) {
                     return DsmReply::Err(e.into());
                 }
+                // Backups drop their copies *first*: if one is down past
+                // the mirror budget, the primary still holds the segment
+                // and its replica entry, so the client's retry re-drives
+                // the whole destroy instead of finding it half-applied
+                // (apply_mirror_destroy is idempotent — backups that
+                // already destroyed simply re-ack).
+                if let Err(e) = self.mirror_destroy(seg) {
+                    return DsmReply::Err(e.into());
+                }
                 match self.store.destroy(seg) {
                     Ok(()) => {
                         // lint:allow(hash-iter) — retain drops entries
                         // independently; visit order cannot be observed.
                         self.directory.lock().pages.retain(|(s, _), _| *s != seg);
-                        if let Err(e) = self.mirror_destroy(seg) {
-                            return DsmReply::Err(e.into());
-                        }
+                        self.replicas.lock().remove(&seg);
+                        self.mirror_versions.lock().retain(|(s, _), _| *s != seg);
                         DsmReply::Ok
                     }
                     Err(e) => DsmReply::Err(e.into()),
@@ -1198,6 +1219,14 @@ impl DsmServer {
         let results = pages
             .iter()
             .map(|p| {
+                // Same per-segment fence as the single-page path: a
+                // backup or demoted ex-primary must refuse the write
+                // (mirror_page would silently no-op for it), so the
+                // client re-resolves the home instead of collecting an
+                // ack the real primary never saw.
+                if let Err(e) = self.check_serving(p.seg) {
+                    return Err(e.into());
+                }
                 let version = match self.store.get(p.seg) {
                     Ok(segment) => match segment.write().write_page(p.page, &p.data) {
                         Ok(version) => {
@@ -1361,6 +1390,136 @@ mod tests {
             reply,
             DsmReply::Err(crate::proto::WireError::SegmentNotFound(_))
         ));
+    }
+
+    #[test]
+    fn write_back_batch_is_fenced_off_non_primaries() {
+        let (_net, server, client) = server();
+        let seg = SysName::from_parts(1, 5);
+        call(
+            &client,
+            &DsmRequest::CreateSegment {
+                seg,
+                len: clouds_ra::PAGE_SIZE as u64,
+            },
+        );
+        // This server is a *backup* in its replica view: batched
+        // write-backs must be refused exactly like the single-page
+        // path, or a client with a stale home cache would collect acks
+        // for writes the real primary never saw.
+        server.adopt_replica_config(seg, vec![NodeId(99), NodeId(10)], 1);
+        let reply = call(
+            &client,
+            &DsmRequest::WriteBackBatch {
+                pages: vec![WireWriteBack {
+                    seg,
+                    page: 0,
+                    data: vec![1u8; clouds_ra::PAGE_SIZE],
+                }],
+            },
+        );
+        match reply {
+            DsmReply::WriteBackResults { results } => assert!(matches!(
+                results[..],
+                [Err(crate::proto::WireError::SegmentNotFound(_))]
+            )),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(server.stats().write_backs, 0, "fenced write hit the store");
+    }
+
+    #[test]
+    fn write_back_batch_is_fenced_while_recovering() {
+        let (_net, server, client) = server();
+        let seg = SysName::from_parts(1, 6);
+        call(
+            &client,
+            &DsmRequest::CreateSegment {
+                seg,
+                len: clouds_ra::PAGE_SIZE as u64,
+            },
+        );
+        // Sole member: this server is primary with no backups, so the
+        // only fence that can trip is the recovery flag.
+        server.adopt_replica_config(seg, vec![NodeId(10)], 1);
+        server.begin_recovery();
+        let req = DsmRequest::WriteBackBatch {
+            pages: vec![WireWriteBack {
+                seg,
+                page: 0,
+                data: vec![2u8; clouds_ra::PAGE_SIZE],
+            }],
+        };
+        match call(&client, &req) {
+            DsmReply::WriteBackResults { results } => assert!(matches!(
+                results[..],
+                [Err(crate::proto::WireError::SegmentNotFound(_))]
+            )),
+            other => panic!("unexpected {other:?}"),
+        }
+        server.finish_recovery();
+        match call(&client, &req) {
+            DsmReply::WriteBackResults { results } => assert!(matches!(results[..], [Ok(_)])),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_replicated_destroy_is_retriable_not_half_applied() {
+        let net = Network::new(CostModel::zero());
+        let fast = RatpConfig {
+            retry_interval: std::time::Duration::from_millis(1),
+            ..RatpConfig::default()
+        };
+        let primary_ratp = RatpNode::spawn(net.register(NodeId(10)).unwrap(), fast.clone());
+        let primary = DsmServer::install(&primary_ratp);
+        let backup_ratp = RatpNode::spawn(net.register(NodeId(11)).unwrap(), fast.clone());
+        let backup = DsmServer::install(&backup_ratp);
+        // The client outwaits the primary's whole mirror budget.
+        let client = RatpNode::spawn(
+            net.register(NodeId(1)).unwrap(),
+            RatpConfig {
+                max_retries: 10_000,
+                ..fast
+            },
+        );
+        let call = |req: &DsmRequest| -> DsmReply {
+            let reply = client
+                .call(NodeId(10), ports::DSM_SERVER, proto::encode(req))
+                .unwrap();
+            proto::decode(&reply).unwrap()
+        };
+        let seg = SysName::from_parts(1, 7);
+        assert!(matches!(
+            call(&DsmRequest::CreateReplicated {
+                seg,
+                len: 100,
+                members: vec![10, 11],
+            }),
+            DsmReply::Ok
+        ));
+
+        // Backup down past the whole mirror budget: the destroy fails…
+        net.crash(NodeId(11));
+        assert!(matches!(
+            call(&DsmRequest::DestroySegment { seg }),
+            DsmReply::Err(crate::proto::WireError::ReplicaUnavailable(_))
+        ));
+        // …but nothing was half-applied: the primary still serves the
+        // segment and still knows its replica set, so the client's
+        // retry can re-drive the whole destroy.
+        assert!(matches!(call(&DsmRequest::SegmentLen { seg }), DsmReply::Len(100)));
+        assert!(primary.replica_view(seg).is_some());
+
+        net.restart(NodeId(11));
+        assert!(matches!(call(&DsmRequest::DestroySegment { seg }), DsmReply::Ok));
+        assert!(matches!(
+            call(&DsmRequest::SegmentLen { seg }),
+            DsmReply::Err(crate::proto::WireError::SegmentNotFound(_))
+        ));
+        assert!(primary.replica_view(seg).is_none());
+        assert!(backup.replica_view(seg).is_none());
+        assert!(backup.store().get(seg).is_err());
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub enum RaError {
     /// The partition could not service the request (e.g. remote data
     /// server unreachable).
     PartitionUnavailable(String),
+    /// The segment's home answered but could not reach a backup
+    /// replica, so the write is not durable on the full replica set.
+    /// Unlike [`RaError::PartitionUnavailable`], re-resolving the home
+    /// cannot help — the home has not moved, a *backup* is down.
+    ReplicaUnavailable(String),
     /// An invalidation or lock protocol conflict; retry after backoff.
     Conflict(String),
 }
@@ -60,6 +65,7 @@ impl fmt::Display for RaError {
             }
             RaError::ReadOnly(a) => write!(f, "write to read-only mapping at {a:#x}"),
             RaError::PartitionUnavailable(m) => write!(f, "partition unavailable: {m}"),
+            RaError::ReplicaUnavailable(m) => write!(f, "replica unavailable: {m}"),
             RaError::Conflict(m) => write!(f, "protocol conflict: {m}"),
         }
     }
