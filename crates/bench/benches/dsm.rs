@@ -2,11 +2,12 @@
 //! codec (supporting E4 and the parameter-passing path).
 
 use clouds_codec as codec;
+use clouds_codec::PageBytes;
 use clouds_dsm::{DsmClientPartition, DsmServer};
 use clouds_ra::{AddressSpace, PageCache, Partition, SysName, PAGE_SIZE};
 use clouds_ratp::{RatpConfig, RatpNode};
 use clouds_simnet::{CostModel, Network, NodeId};
-use clouds_dsm::proto::{self, ports, DsmReply, DsmRequest};
+use clouds_dsm::proto::{self, ports, DsmReply, DsmRequest, WireInstallAck, WireMode};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -77,7 +78,7 @@ fn bench_dsm_batching(c: &mut Criterion) {
         call(&DsmRequest::WriteBack {
             seg: scan_seg,
             page: page as u32,
-            data: vec![page as u8; PAGE_SIZE],
+            data: PageBytes::from(vec![page as u8; PAGE_SIZE]),
             release: true,
         });
     }
@@ -130,26 +131,135 @@ fn bench_dsm_batching(c: &mut Criterion) {
     group.finish();
 }
 
+/// Four clients scanning four disjoint segments against one data
+/// server: every fetch races the others for the coherence directory, so
+/// aggregate throughput is governed by how finely the directory locks.
+/// The scans drive the server's wire handler in-process (the same
+/// decode → directory → grant → encode path RaTP dispatches to) so the
+/// directory is the bottleneck rather than transport threads. Run once
+/// with the production stripe count and once with a single stripe (the
+/// pre-sharding coarse lock) so the speedup is measurable from one
+/// bench invocation.
+fn concurrent_scan(c: &mut Criterion, name: &str, shards: usize) {
+    const CLIENTS: u64 = 4;
+    const PAGES: u32 = 64;
+    let net = Network::new(CostModel::zero());
+    let ds = RatpNode::spawn(net.register(NodeId(100)).unwrap(), RatpConfig::default());
+    let server = DsmServer::install_sharded(&ds, clouds_ra::SegmentStore::new(), shards);
+
+    let seed = |req: &DsmRequest| {
+        let reply = server.serve_wire(NodeId(99), &proto::encode(req));
+        assert!(matches!(proto::decode(&reply).unwrap(), DsmReply::Ok));
+    };
+    let seg_of = |i: u64| SysName::from_parts(9, 20 + i);
+    for i in 0..CLIENTS {
+        seed(&DsmRequest::CreateSegment {
+            seg: seg_of(i),
+            len: u64::from(PAGES) * PAGE_SIZE as u64,
+        });
+        for page in 0..PAGES {
+            seed(&DsmRequest::WriteBack {
+                seg: seg_of(i),
+                page,
+                data: PageBytes::from(vec![page as u8; PAGE_SIZE]),
+                release: true,
+            });
+        }
+    }
+
+    let mut group = c.benchmark_group("dsm");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(
+        CLIENTS * u64::from(PAGES) * PAGE_SIZE as u64,
+    ));
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            // Cold-start every iteration: all four scans demand-page
+            // concurrently, acking each grant like a real client.
+            server.clear_directory();
+            std::thread::scope(|s| {
+                for i in 0..CLIENTS {
+                    let server = &server;
+                    s.spawn(move || {
+                        let src = NodeId(1 + i as u32);
+                        let seg = seg_of(i);
+                        for page in 0..PAGES {
+                            let fetch = proto::encode(&DsmRequest::FetchPage {
+                                seg,
+                                page,
+                                mode: WireMode::Read,
+                            });
+                            let reply = server.serve_wire(src, &fetch);
+                            let DsmReply::Page { data, grant_seq, .. } =
+                                proto::decode_shared(&reply).unwrap()
+                            else {
+                                panic!("fetch not granted");
+                            };
+                            black_box(&data);
+                            let ack = proto::encode(&DsmRequest::InstallAckBatch {
+                                seg,
+                                acks: vec![WireInstallAck {
+                                    page,
+                                    grant_seq,
+                                    installed: true,
+                                }],
+                            });
+                            black_box(server.serve_wire(src, &ack));
+                        }
+                    });
+                }
+            });
+        });
+    });
+    group.finish();
+}
+
+fn bench_dsm_concurrent(c: &mut Criterion) {
+    concurrent_scan(c, "concurrent_scan_4_clients", 8);
+    concurrent_scan(c, "concurrent_scan_4_clients_coarse", 1);
+}
+
 fn bench_codec(c: &mut Criterion) {
-    let value: Vec<(String, u64, Vec<u8>)> = (0..64)
-        .map(|i| (format!("key-{i}"), i, vec![i as u8; 100]))
-        .collect();
-    let encoded = codec::to_bytes(&value).unwrap();
+    // The message that dominates DSM wire traffic: an 8 KiB page grant.
+    // Encode is one length-prefixed memcpy out of the `PageBytes`;
+    // decode adopts the payload as a refcounted slice of the reply
+    // buffer instead of copying it out field by field.
+    let grant = DsmReply::Page {
+        data: PageBytes::from(vec![7u8; PAGE_SIZE]),
+        version: 9,
+        zero_filled: false,
+        grant_seq: 42,
+    };
+    let encoded = proto::encode(&grant);
 
     let mut group = c.benchmark_group("codec");
     group.throughput(Throughput::Bytes(encoded.len() as u64));
     group.bench_function("encode", |b| {
-        b.iter(|| black_box(codec::to_bytes(&value).unwrap()));
+        b.iter(|| black_box(proto::encode(&grant)));
     });
     group.bench_function("decode", |b| {
+        b.iter(|| black_box(proto::decode_shared::<DsmReply>(&encoded).unwrap()));
+    });
+
+    // The original mixed small-field workload, kept for continuity:
+    // many short strings and integers, no dominant byte payload.
+    let value: Vec<(String, u64, Vec<u8>)> = (0..64)
+        .map(|i| (format!("key-{i}"), i, vec![i as u8; 100]))
+        .collect();
+    let mixed = codec::to_bytes(&value).unwrap();
+    group.throughput(Throughput::Bytes(mixed.len() as u64));
+    group.bench_function("encode_mixed", |b| {
+        b.iter(|| black_box(codec::to_bytes(&value).unwrap()));
+    });
+    group.bench_function("decode_mixed", |b| {
         b.iter(|| {
             black_box(
-                codec::from_bytes::<Vec<(String, u64, Vec<u8>)>>(&encoded).unwrap(),
+                codec::from_bytes::<Vec<(String, u64, Vec<u8>)>>(&mixed).unwrap(),
             )
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_dsm, bench_dsm_batching, bench_codec);
+criterion_group!(benches, bench_dsm, bench_dsm_batching, bench_dsm_concurrent, bench_codec);
 criterion_main!(benches);

@@ -14,8 +14,15 @@
 use std::process::ExitCode;
 
 /// Benchmarks that gate the build: the two paging paths the batched DSM
-/// protocol exists for.
-const GATED: &[&str] = &["sequential_scan_1mb", "commit_flush_32_dirty"];
+/// protocol exists for, the single-page fault and local-hit latencies,
+/// and the contended four-client scan the striped directory exists for.
+const GATED: &[&str] = &[
+    "sequential_scan_1mb",
+    "commit_flush_32_dirty",
+    "page_ping_pong",
+    "local_hit_read",
+    "concurrent_scan_4_clients",
+];
 
 /// Allowed slowdown of `min_ns` vs the baseline.
 const TOLERANCE: f64 = 0.15;

@@ -294,6 +294,30 @@ fn main() {
         &rows,
     );
 
+    // E11 — concurrent-scan scaling: 1/2/4 clients demand-paging
+    // disjoint segments from one data server, aggregate throughput and
+    // the worst per-client fault-service p99 from the obs registry.
+    let scaling = paging_exp::run_concurrent_scans();
+    print_table(
+        "E11 Concurrent demand-paging scans against one data server",
+        &scaling
+            .iter()
+            .map(|r| {
+                Row::new(
+                    format!(
+                        "{} client{} × {} pages",
+                        r.clients,
+                        if r.clients == 1 { "" } else { "s" },
+                        paging_exp::CONCURRENT_PAGES
+                    ),
+                    "—",
+                    ms(r.elapsed),
+                    format!("{:.1} MiB/s aggregate, fetch p99 {}", r.mib_per_s, ms(r.fetch_p99)),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+
     println!();
     println!("done. see EXPERIMENTS.md for the recorded snapshot and commentary.");
 }

@@ -8,6 +8,7 @@
 //! what multi-page grants with read-ahead and coalesced write-back
 //! flushes buy over the one-RPC-per-page protocol.
 
+use clouds_codec::PageBytes;
 use clouds_dsm::proto::{self, ports, DsmReply, DsmRequest};
 use clouds_dsm::{DsmClientConfig, DsmClientPartition, DsmServer};
 use clouds_obs::HistogramSummary;
@@ -100,7 +101,7 @@ fn scan_keeping_client(config: DsmClientConfig) -> (Measurement, Arc<DsmClientPa
         call(&DsmRequest::WriteBack {
             seg,
             page: page as u32,
-            data: vec![page as u8; PAGE_SIZE],
+            data: PageBytes::from(vec![page as u8; PAGE_SIZE]),
             release: true,
         });
     }
@@ -205,6 +206,99 @@ pub fn run() -> PagingResults {
     }
 }
 
+/// Pages each scanner reads in the E11 concurrent workload.
+pub const CONCURRENT_PAGES: u64 = 64;
+
+/// E11 — one row of the concurrent-scan scaling table: `clients`
+/// scanners demand-paging disjoint segments from one data server.
+#[derive(Debug, Clone)]
+pub struct ConcurrentScan {
+    pub clients: u32,
+    /// Virtual time until the slowest scanner finished.
+    pub elapsed: Vt,
+    /// Aggregate canonical bytes paged per virtual second, in MiB/s.
+    pub mib_per_s: f64,
+    /// Worst per-client `dsm.client.fetch` p99 from the obs registry.
+    pub fetch_p99: Vt,
+}
+
+/// Run the E11 scaling sweep: 1, 2 and 4 concurrent scanners, each
+/// sweep on a fresh network so the clocks start from zero.
+pub fn run_concurrent_scans() -> Vec<ConcurrentScan> {
+    [1, 2, 4].into_iter().map(concurrent_scan).collect()
+}
+
+fn concurrent_scan(clients: u32) -> ConcurrentScan {
+    let net = Network::new(CostModel::sun3_ethernet());
+    let home = NodeId(100);
+    let ds = RatpNode::spawn(net.register(home).expect("server node"), RatpConfig::default());
+    let _server = DsmServer::install(&ds);
+
+    let raw = RatpNode::spawn(net.register(NodeId(99)).expect("seed node"), RatpConfig::default());
+    let seed = |req: &DsmRequest| {
+        let reply = raw
+            .call(home, ports::DSM_SERVER, proto::encode(req))
+            .expect("seed rpc");
+        assert!(matches!(proto::decode(&reply).expect("decode"), DsmReply::Ok));
+    };
+    let seg_of = |i: u32| SysName::from_parts(11, u64::from(i) + 1);
+    for i in 0..clients {
+        seed(&DsmRequest::CreateSegment {
+            seg: seg_of(i),
+            len: CONCURRENT_PAGES * PAGE_SIZE as u64,
+        });
+        for page in 0..CONCURRENT_PAGES {
+            seed(&DsmRequest::WriteBack {
+                seg: seg_of(i),
+                page: page as u32,
+                data: PageBytes::from(vec![page as u8; PAGE_SIZE]),
+                release: true,
+            });
+        }
+    }
+
+    let parts: Vec<_> = (0..clients)
+        .map(|i| client(&net, NodeId(1 + i), home, DsmClientConfig::default()))
+        .collect();
+    let spaces: Vec<_> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| space(p, seg_of(i as u32), CONCURRENT_PAGES))
+        .collect();
+    let clocks: Vec<_> = (0..clients)
+        .map(|i| net.clock(NodeId(1 + i)).expect("client clock"))
+        .collect();
+    let starts: Vec<Vt> = clocks.iter().map(|c| c.now()).collect();
+    std::thread::scope(|s| {
+        for sp in &spaces {
+            s.spawn(move || {
+                for page in 0..CONCURRENT_PAGES {
+                    sp.read_u64(page * PAGE_SIZE as u64).expect("scan read");
+                }
+            });
+        }
+    });
+    let elapsed = clocks
+        .iter()
+        .zip(&starts)
+        .map(|(c, s)| c.now() - *s)
+        .max()
+        .expect("at least one client");
+    let bytes = u64::from(clients) * CONCURRENT_PAGES * PAGE_SIZE as u64;
+    let secs = elapsed.as_nanos() as f64 / 1e9;
+    let fetch_p99 = parts
+        .iter()
+        .map(|p| p.obs().registry().histogram_summary("dsm.client.fetch").p99)
+        .max()
+        .expect("at least one client");
+    ConcurrentScan {
+        clients,
+        elapsed,
+        mib_per_s: bytes as f64 / (1 << 20) as f64 / secs,
+        fetch_p99,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +324,24 @@ mod tests {
             "flush {} !< {}",
             r.flush_batched.vt,
             r.flush_unbatched.vt
+        );
+    }
+
+    #[test]
+    fn e11_concurrent_scans_share_one_server() {
+        let rows = run_concurrent_scans();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.mib_per_s > 0.0, "{r:?}");
+            assert!(r.fetch_p99.as_nanos() > 0, "{r:?}");
+        }
+        // The server is shared: adding scanners cannot make any single
+        // client's fault service faster than running alone.
+        assert!(
+            rows[2].fetch_p99 >= rows[0].fetch_p99,
+            "4-client p99 {} < 1-client p99 {}",
+            rows[2].fetch_p99,
+            rows[0].fetch_p99
         );
     }
 

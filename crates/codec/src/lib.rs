@@ -40,11 +40,13 @@
 
 mod de;
 mod error;
+mod page;
 mod ser;
 
 pub use de::{from_bytes, Deserializer};
 pub use error::{Error, Result};
-pub use ser::{to_bytes, Serializer};
+pub use page::{from_bytes_shared, PageBytes};
+pub use ser::{encode_into, to_bytes, Serializer};
 
 /// Encode a value and decode it again; convenience for tests and docs.
 ///

@@ -15,9 +15,32 @@ use serde::ser::{self, Serialize};
 /// assert_eq!(bytes, vec![1, 0, 1]);
 /// ```
 pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
-    let mut ser = Serializer::new();
+    // Most wire values are small structs; page-carrying messages get
+    // their real reservation from the byte-string path below.
+    let mut ser = Serializer::with_capacity(64);
     value.serialize(&mut ser)?;
     Ok(ser.into_bytes())
+}
+
+/// Encode `value` into `out`, reusing its allocation.
+///
+/// The buffer is cleared first; its capacity is kept, so a caller
+/// encoding in a loop (e.g. a transport filling the same send buffer)
+/// amortizes away allocation entirely.
+///
+/// # Errors
+///
+/// As for [`to_bytes`]. On error `out` is left cleared.
+pub fn encode_into<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) -> Result<()> {
+    let mut buf = std::mem::take(out);
+    buf.clear();
+    let mut ser = Serializer { out: buf };
+    let result = value.serialize(&mut ser);
+    *out = ser.into_bytes();
+    if result.is_err() {
+        out.clear();
+    }
+    result
 }
 
 /// Streaming serializer writing the Clouds binary format into a `Vec<u8>`.
@@ -30,6 +53,13 @@ impl Serializer {
     /// Create an empty serializer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an empty serializer whose buffer pre-reserves `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        Serializer {
+            out: Vec::with_capacity(cap),
+        }
     }
 
     /// Extract the encoded bytes.
@@ -98,12 +128,16 @@ impl<'a> ser::Serializer for &'a mut Serializer {
     }
 
     fn serialize_str(self, v: &str) -> Result<()> {
+        // One reservation for prefix + payload: a page-sized value never
+        // grows the buffer more than once.
+        self.out.reserve(8 + v.len());
         self.put_len(v.len());
         self.put(v.as_bytes());
         Ok(())
     }
 
     fn serialize_bytes(self, v: &[u8]) -> Result<()> {
+        self.out.reserve(8 + v.len());
         self.put_len(v.len());
         self.put(v);
         Ok(())

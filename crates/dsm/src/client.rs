@@ -10,6 +10,7 @@ use crate::proto::{
     self, ports, DsmReply, DsmRequest, RecallReply, RecallRequest, WireInstallAck, WireMode,
     WireWriteBack,
 };
+use clouds_codec::PageBytes;
 use clouds_obs::{current_ctx, install_ctx, Counter, Histogram, NodeObs};
 use clouds_ra::{
     AccessMode, PageCache, PageFetch, Partition, RaError, ReclaimOutcome, SysName, WriteBackItem,
@@ -199,13 +200,13 @@ impl DsmClientPartition {
                         ReclaimOutcome::Taken { dirty_data: None } => RecallReply::Clean,
                         ReclaimOutcome::Taken {
                             dirty_data: Some(data),
-                        } => RecallReply::Dirty(data),
+                        } => RecallReply::Dirty(PageBytes::from(data)),
                     }
                 }
                 Ok(RecallRequest::Downgrade { seg, page }) => {
                     obs.instant("dsm.client", "downgrade", format!("seg={seg} page={page}"));
                     match cache.downgrade((seg, page)) {
-                        Some(data) => RecallReply::Dirty(data),
+                        Some(data) => RecallReply::Dirty(PageBytes::from(data)),
                         None => RecallReply::Clean,
                     }
                 }
@@ -344,7 +345,10 @@ impl DsmClientPartition {
 
     fn call(&self, server: NodeId, req: &DsmRequest) -> clouds_ra::Result<DsmReply> {
         match self.ratp.call(server, ports::DSM_SERVER, proto::encode(req)) {
-            Ok(bytes) => proto::decode(&bytes),
+            // Shared decode: granted page images stay refcounted slices
+            // of the reply buffer; the only copy left on the fetch path
+            // is the one installing the frame into the page cache.
+            Ok(bytes) => proto::decode_shared(&bytes),
             Err(CallError::TimedOut) => Err(RaError::PartitionUnavailable(format!(
                 "data server {server} unreachable"
             ))),
@@ -448,9 +452,11 @@ impl DsmClientPartition {
                     let mut acks = Vec::with_capacity(tail.len());
                     for (i, grant) in tail.into_iter().enumerate() {
                         let page = first + 1 + i as u32;
-                        let installed =
-                            self.cache
-                                .install_prefetched((seg, page), grant.data, grant.version);
+                        let installed = self.cache.install_prefetched(
+                            (seg, page),
+                            grant.data.to_vec(),
+                            grant.version,
+                        );
                         acks.push(WireInstallAck {
                             page,
                             grant_seq: grant.grant_seq,
@@ -467,7 +473,7 @@ impl DsmClientPartition {
                     }
                     self.note_grant(seg, first, granted);
                     Ok(PageFetch {
-                        data: head.data,
+                        data: head.data.to_vec(),
                         version: head.version,
                         zero_filled: head.zero_filled,
                         grant_seq: head.grant_seq,
@@ -602,7 +608,7 @@ impl Partition for DsmClientPartition {
                     zero_filled,
                     grant_seq,
                 } => Ok(PageFetch {
-                    data,
+                    data: data.to_vec(),
                     version,
                     zero_filled,
                     grant_seq,
@@ -625,7 +631,7 @@ impl Partition for DsmClientPartition {
                 &DsmRequest::WriteBack {
                     seg,
                     page,
-                    data: data.to_vec(),
+                    data: PageBytes::copy_from_slice(data),
                     release: false,
                 },
             )? {
@@ -675,7 +681,7 @@ impl Partition for DsmClientPartition {
                             .map(|&i| WireWriteBack {
                                 seg: items[i].seg,
                                 page: items[i].page,
-                                data: items[i].data.clone(),
+                                data: PageBytes::copy_from_slice(&items[i].data),
                             })
                             .collect();
                         let res = self.send_write_back_batch(home, pages);
@@ -720,7 +726,7 @@ impl Partition for DsmClientPartition {
                 &DsmRequest::WriteBack {
                     seg,
                     page,
-                    data: data.to_vec(),
+                    data: PageBytes::copy_from_slice(data),
                     release: true,
                 },
             )? {

@@ -1,5 +1,6 @@
 //! Wire protocol between DSM clients and data servers.
 
+use clouds_codec::PageBytes;
 use clouds_ra::RaError;
 use clouds_ra::SysName;
 use serde::{Deserialize, Serialize};
@@ -87,7 +88,7 @@ pub enum DsmRequest {
         /// Page index.
         page: u32,
         /// Full page contents.
-        data: Vec<u8>,
+        data: PageBytes,
         /// Whether the client also relinquishes its copy.
         release: bool,
     },
@@ -162,7 +163,7 @@ pub enum DsmRequest {
         /// Page index.
         page: u32,
         /// Full page contents.
-        data: Vec<u8>,
+        data: PageBytes,
         /// The primary's canonical version for this page image. Backups
         /// apply strictly increasing versions only, so racing or
         /// duplicated mirror pushes converge on the newest image.
@@ -199,7 +200,7 @@ pub struct WireWriteBack {
     /// Page index.
     pub page: u32,
     /// Full page contents.
-    pub data: Vec<u8>,
+    pub data: PageBytes,
 }
 
 /// One acknowledgement inside a [`DsmRequest::InstallAckBatch`].
@@ -224,7 +225,7 @@ pub enum DsmReply {
     /// A page grant.
     Page {
         /// Full page contents.
-        data: Vec<u8>,
+        data: PageBytes,
         /// Canonical version counter.
         version: u64,
         /// Whether the page had never been written.
@@ -256,7 +257,7 @@ pub enum DsmReply {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct WirePageGrant {
     /// Full page contents.
-    pub data: Vec<u8>,
+    pub data: PageBytes,
     /// Canonical version counter.
     pub version: u64,
     /// Whether the page had never been written.
@@ -292,7 +293,7 @@ pub enum RecallReply {
     /// The copy was clean; it has been dropped/demoted.
     Clean,
     /// The copy was dirty; here is the latest data.
-    Dirty(Vec<u8>),
+    Dirty(PageBytes),
 }
 
 /// Serializable projection of [`RaError`] for the wire.
@@ -362,6 +363,18 @@ pub fn decode<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, RaError
         .map_err(|e| RaError::PartitionUnavailable(format!("malformed protocol message: {e}")))
 }
 
+/// Decode a protocol message whose [`PageBytes`] payloads should share
+/// the (refcounted) message buffer instead of being copied out — the
+/// zero-copy path for reassembled RaTP requests and replies.
+///
+/// # Errors
+///
+/// As for [`decode`].
+pub fn decode_shared<T: serde::de::DeserializeOwned>(bytes: &bytes::Bytes) -> Result<T, RaError> {
+    clouds_codec::from_bytes_shared(bytes)
+        .map_err(|e| RaError::PartitionUnavailable(format!("malformed protocol message: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,7 +414,7 @@ mod tests {
     #[test]
     fn reply_with_page_roundtrip() {
         let reply = DsmReply::Page {
-            data: vec![1, 2, 3],
+            data: PageBytes::from(vec![1, 2, 3]),
             version: 9,
             zero_filled: false,
             grant_seq: 4,
@@ -432,13 +445,13 @@ mod tests {
             first: 10,
             pages: vec![
                 WirePageGrant {
-                    data: vec![1; 4],
+                    data: PageBytes::from(vec![1; 4]),
                     version: 3,
                     zero_filled: false,
                     grant_seq: 7,
                 },
                 WirePageGrant {
-                    data: vec![2; 4],
+                    data: PageBytes::from(vec![2; 4]),
                     version: 0,
                     zero_filled: true,
                     grant_seq: 8,
@@ -462,7 +475,7 @@ mod tests {
             pages: vec![WireWriteBack {
                 seg: SysName::from_parts(5, 6),
                 page: 3,
-                data: vec![9; 16],
+                data: PageBytes::from(vec![9; 16]),
             }],
         };
         let back: DsmRequest = decode(&encode(&req)).unwrap();
@@ -521,7 +534,7 @@ mod tests {
         let req = DsmRequest::MirrorWrite {
             seg,
             page: 2,
-            data: vec![7; 32],
+            data: PageBytes::from(vec![7; 32]),
             version: 9,
             members: vec![100, 101, 102],
             epoch: 3,
@@ -561,6 +574,28 @@ mod tests {
         let w: WireError = e.clone().into();
         let back: RaError = w.into();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn page_grant_decodes_zero_copy_from_shared_buffer() {
+        let reply = DsmReply::Page {
+            data: PageBytes::from(vec![5u8; 8192]),
+            version: 1,
+            zero_filled: false,
+            grant_seq: 2,
+        };
+        let wire = encode(&reply);
+        let base = wire.as_ref().as_ptr() as usize;
+        match decode_shared::<DsmReply>(&wire).unwrap() {
+            DsmReply::Page { data, .. } => {
+                let ptr = data.as_slice().as_ptr() as usize;
+                assert!(
+                    ptr >= base && ptr + data.len() <= base + wire.len(),
+                    "page payload must alias the reply buffer"
+                );
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
     }
 
     #[test]

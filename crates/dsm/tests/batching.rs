@@ -7,6 +7,7 @@
 //! home, and none of it may weaken the coherence protocol — a recall
 //! landing mid-batch never loses a dirty page.
 
+use clouds_codec::PageBytes;
 use clouds_dsm::proto::{
     self, ports, DsmReply, DsmRequest, WireInstallAck, WireMode, WirePageGrant,
 };
@@ -118,7 +119,7 @@ fn sequential_scan_128_pages_in_at_most_20_rpcs() {
             &DsmRequest::WriteBack {
                 seg: s,
                 page: page as u32,
-                data,
+                data: PageBytes::from(data),
                 release: true,
             },
         );
@@ -430,14 +431,14 @@ proptest! {
             let mut data = vec![0u8; PAGE_SIZE];
             data[..bytes.len()].copy_from_slice(bytes);
             wire_call(&x, server_node, &DsmRequest::WriteBack {
-                seg: s, page: page as u32, data, release: true,
+                seg: s, page: page as u32, data: PageBytes::from(data), release: true,
             });
         }
         for &(page, b) in &extra_writes {
             if page < pages as usize {
                 let data = vec![b; PAGE_SIZE];
                 wire_call(&x, server_node, &DsmRequest::WriteBack {
-                    seg: s, page: page as u32, data, release: true,
+                    seg: s, page: page as u32, data: PageBytes::from(data), release: true,
                 });
             }
         }

@@ -1,0 +1,30 @@
+//! Fixture: an AB/BA cycle between two members of a stripe family —
+//! the indexed-receiver (`stripes[i]`) form of the classic two-lock
+//! deadlock. The index must be abstracted (`Grid.stripes[_].pages`) for
+//! the two functions' edges to meet in one graph.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+pub struct Stripe {
+    pages: Mutex<HashMap<u64, u64>>,
+    meta: Mutex<Vec<u64>>,
+}
+
+pub struct Grid {
+    stripes: Vec<Stripe>,
+}
+
+impl Grid {
+    pub fn upgrade(&self, i: usize) {
+        let pages = self.stripes[i].pages.lock();
+        let mut meta = self.stripes[i].meta.lock();
+        meta.push(pages.len() as u64);
+    }
+
+    pub fn downgrade(&self, i: usize) {
+        let meta = self.stripes[i].meta.lock();
+        let mut pages = self.stripes[i].pages.lock();
+        pages.insert(0, meta.len() as u64);
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: a clean stripe family — per-key operations lock exactly one
+//! stripe, and the sweep visits stripes in ascending index order with at
+//! most one guard alive at a time (released at each statement end), so
+//! the ordered-index acquisition is acyclic by construction.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+pub struct Stripe {
+    pages: Mutex<BTreeMap<u64, u64>>,
+}
+
+pub struct Grid {
+    stripes: Vec<Stripe>,
+}
+
+impl Grid {
+    pub fn bump(&self, i: usize) {
+        self.stripes[i].pages.lock().insert(1, 1);
+    }
+
+    pub fn sweep(&self) {
+        for i in 0..self.stripes.len() {
+            self.stripes[i].pages.lock().clear();
+        }
+    }
+}

@@ -13,7 +13,9 @@
 //! forever, and is reported with a witness path.
 //!
 //! Keys are `Type.field` when the receiver is a `self` path inside an
-//! `impl` block, else the receiver's last identifier. The analysis is
+//! `impl` block, else the receiver's last identifier; indexed (stripe)
+//! receivers like `self.shards[i].pages` keep the whole path with the
+//! index abstracted (`Type.shards[_].pages`). The analysis is
 //! deliberately approximate (see ARCHITECTURE.md): consistent naming
 //! merges distinct locks conservatively, and `lint:allow(lock-order)`
 //! on a witness line documents a cycle that cannot be scheduled.
@@ -318,11 +320,22 @@ fn extract(toks: &[Token], f: &crate::FnSpan, file: &str) -> FnFacts {
 
 /// Key the receiver chain ending at the `.` before lock/read/write.
 /// Returns (key, index of the chain's first token).
+///
+/// Indexed receivers — the stripe pattern `self.shards[i].pages.lock()`
+/// — are traversed through the `[...]` (any balanced index expression)
+/// and keyed with the whole path, index abstracted to `[_]`:
+/// `DsmServer.shards[_].pages`. Every element of a stripe array maps to
+/// the one key, which is exactly the right approximation for the
+/// stripe discipline (never hold two stripes of one family; sweeps
+/// visit stripes one at a time), because holding one stripe while
+/// taking another of the same family then shows up as a self-loop.
 fn receiver_key(toks: &[Token], dot: usize, f: &crate::FnSpan) -> Option<(String, usize)> {
-    // Walk back over `ident ( . ident )*`, tolerating interposed `()`
-    // for calls like `.as_ref()` is NOT attempted: a `)` aborts.
+    // Walk back over `ident ( [index] )? ( . ident ( [index] )? )*`,
+    // tolerating interposed `()` for calls like `.as_ref()` is NOT
+    // attempted: a `)` aborts.
     let mut idx = dot;
     let mut chain: Vec<String> = Vec::new();
+    let mut indexed = false;
     loop {
         if idx == 0 {
             break;
@@ -339,20 +352,63 @@ fn receiver_key(toks: &[Token], dot: usize, f: &crate::FnSpan) -> Option<(String
                 }
                 break;
             }
+            // `shards[i]` (or any balanced index expression): skip back
+            // to the matching `[` and abstract the index to `[_]`.
+            Tok::Punct(']') => {
+                let mut bdepth = 1i32;
+                let mut k = idx - 1;
+                while k > 0 && bdepth > 0 {
+                    k -= 1;
+                    match &toks[k].kind {
+                        Tok::Punct('[') => bdepth -= 1,
+                        Tok::Punct(']') => bdepth += 1,
+                        _ => {}
+                    }
+                }
+                if bdepth != 0 {
+                    break; // unmatched bracket: give up on the chain
+                }
+                chain.push("[_]".to_string());
+                indexed = true;
+                idx = k; // toks[k] is `[`; the array ident precedes it
+            }
             _ => break,
         }
     }
-    if chain.is_empty() {
+    // Fuse `[_]` markers onto the identifier they index.
+    chain.reverse();
+    let mut parts: Vec<String> = Vec::new();
+    for c in chain {
+        if c == "[_]" {
+            match parts.last_mut() {
+                Some(last) => last.push_str("[_]"),
+                None => return None, // chain started at the bracket
+            }
+        } else {
+            parts.push(c);
+        }
+    }
+    if parts.is_empty() {
         return None;
     }
-    chain.reverse();
-    let key = if chain[0] == "self" && chain.len() >= 2 {
+    let key = if indexed {
+        // Stripe keys carry the whole path: `pages` alone would merge
+        // every stripe family member with any same-named plain field.
+        if parts[0] == "self" && parts.len() >= 2 {
+            match &f.impl_type {
+                Some(t) => format!("{t}.{}", parts[1..].join(".")),
+                None => parts[1..].join("."),
+            }
+        } else {
+            parts.join(".")
+        }
+    } else if parts[0] == "self" && parts.len() >= 2 {
         match &f.impl_type {
-            Some(t) => format!("{t}.{}", chain.last().unwrap()),
-            None => chain.last().unwrap().clone(),
+            Some(t) => format!("{t}.{}", parts.last().unwrap()),
+            None => parts.last().unwrap().clone(),
         }
     } else {
-        chain.last().unwrap().clone()
+        parts.last().unwrap().clone()
     };
     Some((key, idx))
 }

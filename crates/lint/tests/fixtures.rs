@@ -49,6 +49,21 @@ fn bad_fixture_lock_cycle_names_both_locks() {
 }
 
 #[test]
+fn bad_fixture_lock_cycle_through_stripe_family_keys_the_indexed_path() {
+    let findings = run(&fixture("bad"), &Config::clouds()).expect("fixture run");
+    let cycle = findings
+        .iter()
+        .find(|f| f.rule == "lock-order" && f.message.contains("stripes[_]"))
+        .expect("stripe-family lock-order cycle finding");
+    assert!(
+        cycle.message.contains("Grid.stripes[_].pages")
+            && cycle.message.contains("Grid.stripes[_].meta"),
+        "cycle should key stripes by their full path with the index abstracted: {}",
+        cycle.message
+    );
+}
+
+#[test]
 fn bad_fixture_dispatch_names_missing_variant() {
     let findings = run(&fixture("bad"), &Config::clouds()).expect("fixture run");
     let arm = findings

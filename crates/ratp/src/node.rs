@@ -428,6 +428,20 @@ fn receive_loop(weak: Weak<RatpNode>) {
                 let src = frame.src;
                 if let Some(pkt) = Packet::decode(frame.payload) {
                     node.endpoint.clock().charge(node.cost().transport_packet);
+                    // Any inbound traffic is liveness evidence, not just
+                    // dedicated beacons: a peer that crashes right after
+                    // a burst of requests (before its monitor's first
+                    // beacon tick) must still leave a "last alive" stamp
+                    // behind, or the failure detector — which treats
+                    // never-heard peers as alive — could never declare
+                    // it dead.
+                    if matches!(
+                        pkt.kind,
+                        PacketKind::Request | PacketKind::Notify | PacketKind::Heartbeat
+                    ) {
+                        let heard = node.endpoint.clock().now();
+                        node.heartbeats.lock().insert(src, heard);
+                    }
                     match pkt.kind {
                         PacketKind::Request => handle_request_fragment(&node, src, pkt),
                         PacketKind::Notify => handle_notify_fragment(&node, src, pkt),
@@ -546,19 +560,17 @@ fn handle_notify_fragment(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
         .expect("spawn ratp notify handler thread");
 }
 
-/// Record a liveness beacon. The stamp stored is the *receiver's* local
-/// virtual time — message receipt already advanced this clock to the
-/// frame's arrival time, so "local now" is exactly when the peer was
-/// last known alive, which is what the failure detector compares
-/// against. Handled inline (no thread, no reply): a beacon costs one
-/// packet end to end.
-fn handle_heartbeat(node: &Arc<RatpNode>, src: NodeId, pkt: Packet) {
+/// Count a liveness beacon. The "last alive" stamp itself is recorded
+/// by the receive loop for every inbound packet (any traffic proves the
+/// peer was up; the stamp is the *receiver's* local virtual time, which
+/// message receipt already advanced to the frame's arrival time).
+/// Handled inline (no thread, no reply): a beacon costs one packet end
+/// to end.
+fn handle_heartbeat(node: &Arc<RatpNode>, _src: NodeId, pkt: Packet) {
     if pkt.payload.len() != 8 {
         return; // malformed beacon: drop, the next one is coming anyway
     }
     node.metrics.heartbeats_received.inc();
-    let heard = node.endpoint.clock().now();
-    node.heartbeats.lock().insert(src, heard);
 }
 
 fn encode_reply(kind: PacketKind, port: u16, txn: u64, reply: Bytes) -> Arc<Vec<Bytes>> {

@@ -276,13 +276,28 @@ impl Reassembly {
             // message already completed and the buffer was drained.
             return None;
         }
+        // Single-fragment fast path: the fragment's payload *is* the
+        // message — hand the arrival buffer through without re-copying
+        // (an 8 KB page grant rides one fragment end to end). Draining
+        // the slot vector keeps the duplicate-after-completion guard
+        // above working.
+        if self.frag_count == 1 {
+            self.received.clear();
+            self.have = 1;
+            return Some(pkt.payload);
+        }
         let slot = &mut self.received[pkt.frag_index as usize];
         if slot.is_none() {
             *slot = Some(pkt.payload);
             self.have += 1;
         }
         if self.have == self.frag_count {
-            let mut whole = BytesMut::new();
+            let total: usize = self
+                .received
+                .iter()
+                .map(|p| p.as_ref().map_or(0, Bytes::len))
+                .sum();
+            let mut whole = BytesMut::with_capacity(total);
             for piece in self.received.drain(..) {
                 whole.extend_from_slice(&piece.expect("all fragments present"));
             }
