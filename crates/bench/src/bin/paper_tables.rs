@@ -11,7 +11,7 @@
 use clouds_bench::report::{ms, print_table, Row};
 use clouds_bench::{
     causal_exp, consistency_exp, invocation_exp, kernel_exp, network_exp, paging_exp, pet_exp,
-    sort_exp,
+    recovery_exp, sort_exp,
 };
 
 fn main() {
@@ -313,6 +313,31 @@ fn main() {
                     "—",
                     ms(r.elapsed),
                     format!("{:.1} MiB/s aggregate, fetch p99 {}", r.mib_per_s, ms(r.fetch_p99)),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // E12 — crash-recovery time from the append-only log: grow the log
+    // by writing more pages through the server, reboot-crash it, and
+    // report how long the replay keeps the server unavailable.
+    let recovery = recovery_exp::run();
+    print_table(
+        "E12 Data-server crash recovery by log replay",
+        &recovery
+            .iter()
+            .map(|r| {
+                Row::new(
+                    format!("{} dirty pages", r.pages_written),
+                    "—",
+                    ms(r.replay_vt),
+                    format!(
+                        "{} KiB log, {} segment{}, {} records replayed",
+                        r.log_bytes / 1024,
+                        r.log_segments,
+                        if r.log_segments == 1 { "" } else { "s" },
+                        r.records
+                    ),
                 )
             })
             .collect::<Vec<_>>(),

@@ -21,6 +21,7 @@ pub mod kernel_exp;
 pub mod network_exp;
 pub mod paging_exp;
 pub mod pet_exp;
+pub mod recovery_exp;
 pub mod report;
 pub mod sort_exp;
 

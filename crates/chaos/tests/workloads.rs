@@ -932,3 +932,214 @@ fn dsm_failover_under_data_server_crash() {
         Ok(())
     });
 }
+
+// ---------------------------------------------------------------------------
+// Workload 6: a data server crashes mid-2PC and loses its *entire* memory —
+// the append-only log is the only survivor. Invariant family:
+// committed-durable from log replay alone + presumed abort for undecided
+// intents + one-copy after recovery.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn data_server_recovers_from_log_mid_commit() {
+    use bytes::Bytes;
+    use clouds::node::DataServer;
+    use clouds_consistency::{CommitParticipant, CommitReply, CommitRequest, OutcomeRegistry, PageImage};
+    use clouds_dsm::ports;
+    use clouds_ra::{Partition as _, PAGE_SIZE};
+    use std::sync::Arc;
+
+    let cfg = ChaosConfig::from_env(13);
+    const PAGES: u64 = 2;
+    const TXNS_BEFORE: u64 = 5;
+    let data_nodes = [NodeId(100), NodeId(101)];
+    let home = data_nodes[1]; // participant homing the segment (crash target)
+    // Like workload 5, the schedule gets no crash-eligible nodes: it
+    // degrades every link while the harness reboot-crashes the
+    // participant at the worst moment — after the commit decision is
+    // durable but before the Commit message lands.
+    run_chaos("dsm-recovery", &cfg, &[], |schedule: &FaultSchedule| {
+        let net = Network::with_seed(CostModel::zero(), schedule.seed);
+        let datas: Vec<DataServer> = data_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| DataServer::boot(&net, node, patient_ratp(), i == 0))
+            .collect();
+        // The outcome registry lives on the first data server; the
+        // participant under test homes the segment on the second.
+        let registry = OutcomeRegistry::new();
+        let participants: Vec<Arc<CommitParticipant>> = datas
+            .iter()
+            .enumerate()
+            .map(|(i, ds)| {
+                CommitParticipant::install(
+                    ds.ratp(),
+                    Arc::clone(ds.dsm()),
+                    (i == 0).then(|| registry.clone()),
+                )
+            })
+            .collect();
+
+        let writer = dsm_bed::client(&net, NodeId(1), vec![home]);
+        let seg = SysName::from_parts(31, 6);
+        writer
+            .create_segment(seg, PAGES * PAGE_SIZE as u64)
+            .map_err(err("create segment"))?;
+
+        // The coordinator is the test itself, speaking the 2PC wire
+        // protocol through the writer's transport.
+        let call = |node: NodeId, req: &CommitRequest| -> Result<CommitReply, String> {
+            let payload = Bytes::from(clouds_codec::to_bytes(req).map_err(err("encode 2pc"))?);
+            let reply = writer
+                .ratp()
+                .call(node, ports::COMMIT, payload)
+                .map_err(|e| format!("2pc call: {e}"))?;
+            clouds_codec::from_bytes(&reply).map_err(err("decode 2pc"))
+        };
+        // Every transaction stamps both pages with its id: after any
+        // recovery the segment must hold exactly the last *decided*
+        // transaction's images on every page.
+        let images = |txn: u64| -> Vec<PageImage> {
+            (0..PAGES)
+                .map(|page| {
+                    let mut data = vec![0u8; PAGE_SIZE];
+                    data[..8].copy_from_slice(&txn.to_le_bytes());
+                    data[8..16].copy_from_slice(&page.to_le_bytes());
+                    PageImage {
+                        seg,
+                        page: page as u32,
+                        data,
+                    }
+                })
+                .collect()
+        };
+
+        net.set_schedule(schedule);
+        let pacer = Pacer::drive(&net, cfg.horizon, PACER_BUDGET);
+
+        // Warm-up transactions under hostile links. Any phase may fail;
+        // a recorded outcome is a *decision* and recovery must honor it,
+        // so nothing after this loop depends on which commits landed.
+        for txn in 1..=TXNS_BEFORE {
+            if !matches!(call(home, &CommitRequest::Prepare { txn, pages: images(txn) }), Ok(CommitReply::Ok)) {
+                continue;
+            }
+            if !matches!(call(data_nodes[0], &CommitRequest::RecordOutcome { txn }), Ok(CommitReply::Ok)) {
+                continue;
+            }
+            let _ = call(home, &CommitRequest::Commit { txn });
+        }
+
+        // The crash transaction: prepared, decided committed — and the
+        // participant dies before any Commit message reaches it. Its
+        // images must still survive, reconstructed from the intent
+        // record in the log plus the registry's verdict.
+        let crash_txn = TXNS_BEFORE + 1;
+        match call(home, &CommitRequest::Prepare { txn: crash_txn, pages: images(crash_txn) }) {
+            Ok(CommitReply::Ok) => {}
+            other => return Err(format!("crash-txn prepare: {other:?}")),
+        }
+        match call(data_nodes[0], &CommitRequest::RecordOutcome { txn: crash_txn }) {
+            Ok(CommitReply::Ok) => {}
+            other => return Err(format!("crash-txn record outcome: {other:?}")),
+        }
+        // A second intent with *no* recorded outcome: presumed abort —
+        // its poison images must never become visible.
+        let poison_txn = crash_txn + 1;
+        match call(home, &CommitRequest::Prepare { txn: poison_txn, pages: images(0xDEAD) }) {
+            Ok(CommitReply::Ok) => {}
+            other => return Err(format!("poison prepare: {other:?}")),
+        }
+
+        // The machine dies: segment cache, staged transactions, replica
+        // views, transport state — all DRAM — are gone. Only the log
+        // survives.
+        datas[1].crash(&net);
+        participants[1].crash_volatile_state();
+
+        // Reboot while links are still hostile: replay is local, and the
+        // participant's outcome queries ride the patient transport.
+        datas[1].restart(&net);
+        let (staged, _) = participants[1].resume_from_log();
+        if staged < 2 {
+            return Err(format!(
+                "replay re-staged {staged} intents, want at least the crash and poison txns"
+            ));
+        }
+        let (installed, aborted) =
+            participants[1].recover(datas[1].ratp(), data_nodes[0]);
+        if installed < 1 {
+            return Err(format!("recovery installed {installed} txns, want the decided one"));
+        }
+        if aborted < 1 {
+            return Err(format!("recovery aborted {aborted} txns, want the undecided one"));
+        }
+        if participants[1].staged_count() != 0 {
+            return Err(format!(
+                "{} intents still staged after recovery",
+                participants[1].staged_count()
+            ));
+        }
+        pacer.finish();
+
+        // Committed-durable from the log alone: both pages hold exactly
+        // the decided crash transaction's stamps — not the poison images,
+        // not any older round — and two fresh clients agree (one-copy).
+        let fresh_a = dsm_bed::client(&net, NodeId(11), vec![home]);
+        let fresh_b = dsm_bed::client(&net, NodeId(12), vec![home]);
+        let sa = dsm_bed::space(&fresh_a, seg, PAGES);
+        let sb = dsm_bed::space(&fresh_b, seg, PAGES);
+        for page in 0..PAGES {
+            let addr = page * PAGE_SIZE as u64;
+            let va = sa.read_u64(addr).map_err(err("post-heal read"))?;
+            if va != crash_txn {
+                return Err(format!(
+                    "page {page}: read txn {va}, want decided txn {crash_txn} — \
+                     commit lost (or aborted intent leaked) across the crash"
+                ));
+            }
+            let stamp = sa.read_u64(addr + 8).map_err(err("post-heal read"))?;
+            if stamp != page {
+                return Err(format!("page {page}: foreign page stamp {stamp} — torn install"));
+            }
+            let vb = sb.read_u64(addr).map_err(err("post-heal read"))?;
+            if vb != va {
+                return Err(format!(
+                    "page {page}: fresh clients disagree ({va} vs {vb}) — one-copy violated"
+                ));
+            }
+        }
+
+        // The recovery actually went through the log: the replay
+        // histogram on the crashed node must account the restart.
+        let replay = datas[1]
+            .ratp()
+            .obs()
+            .registry()
+            .histogram_summary("store.replay");
+        if replay.count < 1 {
+            return Err("restart never recorded a store.replay sample".into());
+        }
+
+        // Finally the *registry host* loses its memory too: the commit
+        // decision itself must be reconstructible from its log.
+        datas[0].crash(&net);
+        participants[0].crash_volatile_state();
+        datas[0].restart(&net);
+        let (_, outcomes) = participants[0].resume_from_log();
+        if outcomes < 1 {
+            return Err(format!(
+                "registry host replayed {outcomes} outcomes, want at least the decided txn"
+            ));
+        }
+        match call(data_nodes[0], &CommitRequest::QueryOutcome { txn: crash_txn }) {
+            Ok(CommitReply::Committed) => {}
+            other => {
+                return Err(format!(
+                    "decided txn {crash_txn} answered {other:?} after registry-host crash"
+                ))
+            }
+        }
+        Ok(())
+    });
+}

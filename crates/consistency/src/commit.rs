@@ -8,17 +8,25 @@
 //!
 //! Crash behaviour:
 //!
-//! * The intent log ([`CommitLog`]) survives crashes (it is "on disk",
-//!   like the segment store).
+//! * The in-memory staged-transaction table ([`CommitLog`]) and the
+//!   outcome table ([`OutcomeRegistry`]) are *volatile*. Durability
+//!   comes from the data server's append-only log (`clouds-store`):
+//!   `Prepare` appends a `TxnIntent` record before voting yes,
+//!   `Commit`/`Abort` append `TxnResolved`, and `RecordOutcome` appends
+//!   `TxnOutcome` — so a participant that genuinely lost its memory
+//!   reconstructs both tables from the log replay
+//!   ([`CommitParticipant::resume_from_log`]).
 //! * A participant that restarts with *staged* (prepared, undecided)
 //!   transactions consults the [`OutcomeRegistry`]: committed ⇒ install
-//!   the staged pages; unknown ⇒ presumed abort.
+//!   the staged pages; unknown ⇒ presumed abort
+//!   ([`CommitParticipant::recover`]).
 //! * The coordinator records the commit decision durably in the registry
 //!   *before* sending any `Commit`, so the decision is never lost.
 
 use clouds::CloudsError;
 use clouds_dsm::{ports, DsmServer};
 use clouds_ra::SysName;
+use clouds_store::{IntentPage, LogRecord};
 use clouds_ratp::{RatpNode, Request};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -104,15 +112,18 @@ enum LogState {
     Staged(Vec<PageImage>),
 }
 
-/// The crash-surviving intent log of one participant.
+/// The staged-transaction table of one participant: a volatile cache of
+/// the `TxnIntent` records in the data server's append-only log.
 #[derive(Debug, Clone, Default)]
 struct CommitLog {
     entries: Arc<Mutex<BTreeMap<u64, LogState>>>,
 }
 
-/// The durable transaction-outcome table hosted on the first data
-/// server. Cheap to clone; clones share state (it survives the node's
-/// crash like a disk).
+/// The transaction-outcome table hosted on the first data server. This
+/// in-memory set is a volatile cache: the durable record is the
+/// `TxnOutcome` entry the host appends to its log on `RecordOutcome`,
+/// and a crash rebuilds the set from log replay
+/// ([`CommitParticipant::resume_from_log`]).
 #[derive(Debug, Clone, Default)]
 pub struct OutcomeRegistry {
     committed: Arc<Mutex<std::collections::BTreeSet<u64>>>,
@@ -124,7 +135,8 @@ impl OutcomeRegistry {
         OutcomeRegistry::default()
     }
 
-    /// Durably record that `txn` committed.
+    /// Record that `txn` committed (in the volatile cache; the caller is
+    /// responsible for the matching durable log append).
     pub fn record(&self, txn: u64) {
         self.committed.lock().insert(txn);
     }
@@ -136,6 +148,11 @@ impl OutcomeRegistry {
         } else {
             TxnOutcome::Unknown
         }
+    }
+
+    /// Crash simulation: forget every cached outcome.
+    pub fn clear(&self) {
+        self.committed.lock().clear();
     }
 }
 
@@ -193,6 +210,19 @@ impl CommitParticipant {
                         return CommitReply::Refused;
                     }
                 }
+                // Write-ahead: the yes vote is a durable promise, so the
+                // intent must hit the log before the reply leaves.
+                self.dsm.log().append(LogRecord::TxnIntent {
+                    txn,
+                    pages: pages
+                        .iter()
+                        .map(|p| IntentPage {
+                            seg: p.seg,
+                            page: p.page,
+                            data: p.data.clone(),
+                        })
+                        .collect(),
+                });
                 self.log
                     .entries
                     .lock()
@@ -202,18 +232,33 @@ impl CommitParticipant {
             CommitRequest::Commit { txn } => {
                 let staged = self.log.entries.lock().remove(&txn);
                 match staged {
-                    Some(LogState::Staged(pages)) => self.install_pages(&pages),
+                    Some(LogState::Staged(pages)) => {
+                        let reply = self.install_pages(&pages);
+                        if reply == CommitReply::Ok {
+                            // Installed pages are in the log (commit_page
+                            // appends them); retire the intent so a replay
+                            // does not re-stage a decided transaction.
+                            self.dsm.log().append(LogRecord::TxnResolved { txn });
+                        }
+                        reply
+                    }
                     // Duplicate commit (retransmission after apply).
                     None => CommitReply::Ok,
                 }
             }
             CommitRequest::Abort { txn } => {
-                self.log.entries.lock().remove(&txn);
+                if self.log.entries.lock().remove(&txn).is_some() {
+                    self.dsm.log().append(LogRecord::TxnResolved { txn });
+                }
                 CommitReply::Ok
             }
             CommitRequest::ApplyLocal { txn: _, pages } => self.install_pages(&pages),
             CommitRequest::RecordOutcome { txn } => match &self.registry {
                 Some(reg) => {
+                    // The decision itself is what must survive the host's
+                    // crash: log it before acknowledging to the
+                    // coordinator.
+                    self.dsm.log().append(LogRecord::TxnOutcome { txn });
                     reg.record(txn);
                     CommitReply::Ok
                 }
@@ -241,6 +286,51 @@ impl CommitParticipant {
     /// Number of staged (prepared, undecided) transactions.
     pub fn staged_count(&self) -> usize {
         self.log.entries.lock().len()
+    }
+
+    /// Crash simulation: forget every staged transaction and (when this
+    /// participant hosts it) every cached outcome. Pairs with
+    /// [`CommitParticipant::resume_from_log`], which rebuilds both from
+    /// the data server's replayed log.
+    pub fn crash_volatile_state(&self) {
+        self.log.entries.lock().clear();
+        if let Some(reg) = &self.registry {
+            reg.clear();
+        }
+    }
+
+    /// Rebuild the staged-transaction table and the outcome registry
+    /// from the data server's log replay (the pending intents and
+    /// outcomes parked by `DsmServer::recover_from_log`). Call after the
+    /// data server replayed its log and before
+    /// [`CommitParticipant::recover`] resolves the re-staged
+    /// transactions.
+    ///
+    /// Returns `(staged, outcomes)` counts; `(0, 0)` if no replay ran.
+    pub fn resume_from_log(&self) -> (usize, usize) {
+        let Some((pending, outcomes)) = self.dsm.take_recovered_txns() else {
+            return (0, 0);
+        };
+        let outcome_count = outcomes.len();
+        if let Some(reg) = &self.registry {
+            for txn in outcomes {
+                reg.record(txn);
+            }
+        }
+        let staged = pending.len();
+        let mut entries = self.log.entries.lock();
+        for (txn, pages) in pending {
+            let images = pages
+                .into_iter()
+                .map(|p| PageImage {
+                    seg: p.seg,
+                    page: p.page,
+                    data: p.data,
+                })
+                .collect();
+            entries.insert(txn, LogState::Staged(images));
+        }
+        (staged, outcome_count)
     }
 
     /// Crash-recovery: resolve staged transactions against the outcome
@@ -284,6 +374,9 @@ impl CommitParticipant {
             } else {
                 aborted += 1;
             }
+            // Either way the transaction is decided: retire the intent so
+            // the next replay does not re-stage it.
+            self.dsm.log().append(LogRecord::TxnResolved { txn });
         }
         (installed, aborted)
     }

@@ -151,11 +151,14 @@ fn monitor_loop(
         // too — promoting on a stale pre-crash view could depose the
         // wrong node.
         if dsm.is_recovering() {
-            if refresh_replica_views(dsm, &naming) {
-                dsm.finish_recovery();
-            } else {
+            // A wiped-but-not-replayed store means the machine has not
+            // rebooted yet: its replica map is empty placeholder state,
+            // and "refreshing" zero segments must not lift the fence.
+            // Replay is the restart path's job; stand by until then.
+            if dsm.needs_replay() || !refresh_replica_views(dsm, &naming) {
                 continue;
             }
+            dsm.finish_recovery();
         }
         let now = ratp.clock().now();
         for (seg, members, epoch) in dsm.replicated_segments() {

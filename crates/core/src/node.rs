@@ -949,10 +949,11 @@ impl DataServer {
         &self.ratp
     }
 
-    /// Crash the data server: the segment store survives (it is disk),
-    /// but the coherence directory and transport state are volatile.
-    /// Replicated segments stop being served until the restart resyncs
-    /// their views — the crash may sleep through a demotion.
+    /// Crash the data server: only the append-only log survives (it is
+    /// disk); the segment cache, coherence directory, replica views and
+    /// transport state are all volatile and lost. Replicated segments
+    /// stop being served until the restart replays the log and resyncs
+    /// views — the crash may sleep through a demotion.
     pub fn crash(&self, net: &Network) {
         net.crash(self.node);
         self.lose_volatile_state();
@@ -960,20 +961,24 @@ impl DataServer {
 
     /// The machine-reboot half of [`DataServer::crash`], without touching
     /// the network — for harnesses whose fault injector already cut the
-    /// node off (e.g. a schedule-driven crash window): the store
-    /// survives, everything else is lost, and replicated segments stop
-    /// being served until [`DataServer::resync_replicas`].
+    /// node off (e.g. a schedule-driven crash window): the append-only
+    /// log survives, everything else — including the in-memory segment
+    /// cache — is lost, and replicated segments stop being served until
+    /// [`DataServer::resync_replicas`].
     pub fn lose_volatile_state(&self) {
         self.dsm.begin_recovery();
         self.dsm.clear_directory();
+        self.dsm.wipe_store();
         self.ratp.reset_volatile_state();
     }
 
-    /// Restart after a crash with the surviving store. If a failover
-    /// monitor was configured, every replicated segment's view is
-    /// refreshed from the naming directory *before* serving resumes: a
-    /// rebooted ex-primary must learn it was demoted while down, or two
-    /// servers would answer home probes for the same segment.
+    /// Restart after a crash: replay the surviving log to reconstruct
+    /// pages, replica views and pending transaction state, then — if a
+    /// failover monitor was configured — refresh every replicated
+    /// segment's view from the naming directory *before* serving
+    /// resumes: a rebooted ex-primary must learn it was demoted while
+    /// down, or two servers would answer home probes for the same
+    /// segment.
     pub fn restart(&self, net: &Network) {
         net.restart(self.node);
         self.resync_replicas();
@@ -993,6 +998,12 @@ impl DataServer {
     /// failover monitor, which retries naming calls every tick, lifts
     /// the fence when a later full refresh succeeds.
     pub fn resync_replicas(&self) {
+        // Phase one of recovery: replay the append-only log to rebuild
+        // the segment cache, replica views and pending-transaction state
+        // from durable records alone (charging the virtual clock the
+        // scan cost). Only then is the naming directory consulted to
+        // refine the — possibly stale — replayed replica views.
+        self.dsm.recover_from_log();
         let naming_server = self.failover.lock().as_ref().map(|st| st.naming_server);
         let Some(ns) = naming_server else {
             // No failover monitor was ever configured, so nothing could

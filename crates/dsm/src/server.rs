@@ -42,12 +42,15 @@ use crate::proto::{
     WireWriteBack,
 };
 use clouds_codec::PageBytes;
-use clouds_obs::{Counter, NodeObs};
+use clouds_obs::{Counter, Histogram, NodeObs};
 use clouds_ra::{RaError, SegmentStore, SysName};
+use clouds_store::{
+    replay_cost, IntentPage, LogConfig, LogRecord, LogStore, ReplayOutcome, ReplicaRecord,
+};
 use clouds_ratp::{CallError, RatpNode, Request};
 use clouds_simnet::NodeId;
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -125,9 +128,10 @@ impl MirrorShard {
 /// currently believes it: the full membership in promotion order
 /// (`members[0]` is the primary) and the epoch fencing re-homing.
 ///
-/// Like the [`SegmentStore`], this state survives a simulated crash —
-/// it is the durable "which disks hold this segment" record, not the
-/// volatile coherence directory. A restarted ex-primary may therefore
+/// Like the [`SegmentStore`], this map is volatile: the durable "which
+/// disks hold this segment" record is the `ReplicaConfig` entry in the
+/// append-only log, from which a restart reconstructs this view before
+/// the naming-directory resync refines it. A restarted ex-primary may
 /// hold a *stale* view; every mirror push carries the sender's view and
 /// epoch so stale receivers adopt the newer configuration lazily, and
 /// [`DsmServer::adopt_replica_config`] lets a rebooting server resync
@@ -185,6 +189,11 @@ pub struct DsmServerStats {
     pub shard_contention: u64,
 }
 
+/// What a log replay hands to the co-located 2PC participant: pending
+/// (prepared-but-unresolved) intents by transaction id, and the set of
+/// transactions the local outcome registry durably committed.
+pub type RecoveredTxns = (BTreeMap<u64, Vec<IntentPage>>, BTreeSet<u64>);
+
 /// A data server's DSM service.
 ///
 /// Owns the canonical [`SegmentStore`] — the only durable copy of every
@@ -193,7 +202,11 @@ pub struct DsmServerStats {
 /// [`ports::DSM_SERVER`].
 pub struct DsmServer {
     ratp: Arc<RatpNode>,
+    /// Volatile page cache over the log ([`DsmServer::log`]); every
+    /// durable mutation appends to the log before it is acknowledged.
     store: SegmentStore,
+    /// The append-only log: the only state that survives a crash.
+    log: Arc<LogStore>,
     /// The striped coherence directory; see the module docs on the
     /// stripe lock-order rule.
     shards: Vec<DirShard>,
@@ -209,6 +222,17 @@ pub struct DsmServer {
     /// that happened while this server was down — serving on it would be
     /// a split brain). Cleared once the view is resynced from naming.
     recovering: AtomicBool,
+    /// Set by [`DsmServer::wipe_store`] (the machine is down, its DRAM
+    /// gone) and cleared by [`DsmServer::recover_from_log`]: between the
+    /// two, the volatile maps are *empty*, not *valid*, and nothing —
+    /// not even the failover monitor's trivially-successful refresh of
+    /// zero segments — may lift the recovery fence.
+    needs_replay: AtomicBool,
+    /// Pending 2PC intents and recorded outcomes reconstructed by the
+    /// last [`DsmServer::recover_from_log`] pass, parked here until the
+    /// co-located commit participant collects them
+    /// ([`DsmServer::take_recovered_txns`]).
+    recovered_txns: Mutex<Option<RecoveredTxns>>,
     obs: Arc<NodeObs>,
     metrics: ServerMetrics,
     grant_seq: AtomicU64,
@@ -231,6 +255,8 @@ struct ServerMetrics {
     mirror_applies: Arc<Counter>,
     promotions: Arc<Counter>,
     shard_contention: Arc<Counter>,
+    /// Virtual time spent replaying the log on restart.
+    replay: Arc<Histogram>,
     /// One grant counter per directory stripe (`dsm.server.shardN.grants`),
     /// indexed by stripe; shows whether the page hash spreads load.
     shard_grants: Vec<Arc<Counter>>,
@@ -270,6 +296,7 @@ impl ServerMetrics {
             mirror_applies: obs.counter("dsm.server.mirror_applies"),
             promotions: obs.counter("dsm.server.promotions"),
             shard_contention: obs.counter("dsm.server.shard_contention"),
+            replay: obs.histogram("store.replay"),
             shard_grants: (0..shard_count)
                 .map(|i| shard_grant_counter(obs, i))
                 .collect(),
@@ -319,13 +346,17 @@ impl DsmServer {
         );
         let obs = Arc::clone(ratp.obs());
         let metrics = ServerMetrics::new(&obs, shard_count);
+        let log = Arc::new(LogStore::with_obs(LogConfig::default(), &obs));
         let server = Arc::new(DsmServer {
             ratp: Arc::clone(ratp),
             store,
+            log,
             shards: (0..shard_count).map(|_| DirShard::new()).collect(),
             mirror_shards: (0..shard_count).map(|_| MirrorShard::new()).collect(),
             replicas: RwLock::new(BTreeMap::new()),
             recovering: AtomicBool::new(false),
+            needs_replay: AtomicBool::new(false),
+            recovered_txns: Mutex::new(None),
             obs,
             metrics,
             grant_seq: AtomicU64::new(1),
@@ -383,6 +414,14 @@ impl DsmServer {
     /// as the 2PC participant).
     pub fn store(&self) -> &SegmentStore {
         &self.store
+    }
+
+    /// The append-only log backing this server's durability. Co-located
+    /// services with durable state of their own (the 2PC participant's
+    /// intent records, the outcome registry) append through this handle
+    /// so one replay reconstructs everything the node promised to keep.
+    pub fn log(&self) -> &Arc<LogStore> {
+        &self.log
     }
 
     /// The node this server runs on.
@@ -454,6 +493,14 @@ impl DsmServer {
             let segment = self.store.get(seg)?;
             let version = segment.write().write_page(page, data)?;
             self.metrics.write_backs.inc();
+            // Log before mirroring: the committed image must be on this
+            // node's own media before any ack can escape.
+            self.log.append(LogRecord::PageWrite {
+                seg,
+                page,
+                version,
+                data: data.to_vec(),
+            });
             // The commit is not acknowledged until every backup holds the
             // committed image: a post-commit failover must serve it.
             self.mirror_page(seg, page, &PageBytes::copy_from_slice(data), version)?;
@@ -469,14 +516,114 @@ impl DsmServer {
         result
     }
 
-    /// Forget all coherence state (crash simulation: the directory is
-    /// volatile, the store is not). Stripes are visited in ascending
-    /// index order, one guard at a time.
+    /// Forget all coherence state (the directory is volatile). Stripes
+    /// are visited in ascending index order, one guard at a time.
     pub fn clear_directory(&self) {
         for idx in 0..self.shards.len() {
             self.shards[idx].pages.lock().clear();
             self.shards[idx].busy_cvar.notify_all();
         }
+    }
+
+    /// The crash wiping this data server's DRAM: every cached segment
+    /// image, the replica view, and the mirror version gates are
+    /// dropped, and the log's own volatile index goes with them
+    /// ([`LogStore::crash`]). Only the log media survives;
+    /// [`DsmServer::recover_from_log`] rebuilds the rest. The coherence
+    /// directory is cleared separately ([`DsmServer::clear_directory`]).
+    /// Stripes are visited in ascending index order, one guard at a
+    /// time.
+    pub fn wipe_store(&self) {
+        self.needs_replay.store(true, Ordering::SeqCst);
+        self.store.clear();
+        self.replicas.write().clear();
+        for idx in 0..self.mirror_shards.len() {
+            self.mirror_shards[idx].versions.lock().clear();
+        }
+        self.log.crash();
+    }
+
+    /// The store was wiped ([`DsmServer::wipe_store`]) and the log has
+    /// not been replayed yet: the volatile maps are empty placeholders,
+    /// not valid state, and the recovery fence must not lift until
+    /// [`DsmServer::recover_from_log`] runs.
+    pub fn needs_replay(&self) -> bool {
+        self.needs_replay.load(Ordering::SeqCst)
+    }
+
+    /// Rebuild the segment cache, replica view and mirror version gates
+    /// from the log alone, charging this node's virtual clock the
+    /// sequential scan cost ([`replay_cost`]) and recording it in the
+    /// `store.replay` histogram. Returns the full [`ReplayOutcome`] so
+    /// co-located services (the 2PC participant, the outcome registry)
+    /// can resume their own durable state from the same pass.
+    pub fn recover_from_log(&self) -> ReplayOutcome {
+        let out = self.log.replay();
+        let cost = replay_cost(out.bytes, out.log_segments);
+        self.obs.clock().charge(cost);
+        self.metrics.replay.record(cost);
+        for (seg, rs) in &out.state.segments {
+            // A double recovery finding the segment in place is fine:
+            // restore_page is idempotent per (page, version).
+            let _ = self.store.create(*seg, rs.len);
+            if let Ok(segment) = self.store.get(*seg) {
+                let mut guard = segment.write();
+                // `ReplaySegment::pages` is a BTreeMap: deterministic order.
+                for (page, (version, data)) in &rs.pages { // lint:allow(hash-iter)
+                    let _ = guard.restore_page(*page, data, *version);
+                }
+            }
+        }
+        {
+            let mut reps = self.replicas.write();
+            for (seg, config) in &out.state.replicas {
+                reps.insert(
+                    *seg,
+                    ReplicaState {
+                        members: config.members.iter().map(|&n| NodeId(n)).collect(),
+                        epoch: config.epoch,
+                    },
+                );
+            }
+        }
+        // Mirror version gates resume at the logged page versions so a
+        // re-pushed (duplicate) mirror write from before the crash is
+        // still recognized as a duplicate.
+        for (seg, rs) in &out.state.segments {
+            if out.state.replicas.contains_key(seg) {
+                // `ReplaySegment::pages` is a BTreeMap: deterministic order.
+                for (page, (version, _)) in &rs.pages { // lint:allow(hash-iter)
+                    let idx = self.shard_index((*seg, *page));
+                    self.mirror_shards[idx]
+                        .versions
+                        .lock()
+                        .insert((*seg, *page), *version);
+                }
+            }
+        }
+        *self.recovered_txns.lock() = Some((
+            out.state.pending_intents.clone(),
+            out.state.outcomes.clone(),
+        ));
+        self.needs_replay.store(false, Ordering::SeqCst);
+        self.obs.instant(
+            "dsm.server",
+            "log_replay",
+            format!(
+                "records={} bytes={} torn={} cost={cost}",
+                out.records, out.bytes, out.torn_dropped
+            ),
+        );
+        out
+    }
+
+    /// Take the pending 2PC intents and recorded commit outcomes
+    /// reconstructed by the last [`DsmServer::recover_from_log`] pass.
+    /// The co-located commit participant consumes these to re-stage
+    /// undecided transactions and rebuild the outcome registry; `None`
+    /// if no replay ran since the last take.
+    pub fn take_recovered_txns(&self) -> Option<RecoveredTxns> {
+        self.recovered_txns.lock().take()
     }
 
     // --- segment replication ---------------------------------------------
@@ -550,16 +697,34 @@ impl DsmServer {
     /// probes, or two servers would claim the segment).
     pub fn adopt_replica_config(&self, seg: SysName, members: Vec<NodeId>, epoch: u64) {
         let mut reps = self.replicas.write();
-        match reps.get_mut(&seg) {
+        let adopted = match reps.get_mut(&seg) {
             Some(st) if epoch >= st.epoch => {
-                st.members = members;
+                st.members = members.clone();
                 st.epoch = epoch;
+                true
             }
-            Some(_) => {}
+            Some(_) => false,
             None => {
-                reps.insert(seg, ReplicaState { members, epoch });
+                reps.insert(seg, ReplicaState { members: members.clone(), epoch });
+                true
             }
+        };
+        drop(reps);
+        if adopted {
+            self.log_replica_config(seg, &members, epoch);
         }
+    }
+
+    /// Append the durable record of a replica-view change; replay keeps
+    /// the highest epoch, so logging adoptions unconditionally is safe.
+    fn log_replica_config(&self, seg: SysName, members: &[NodeId], epoch: u64) {
+        self.log.append(LogRecord::ReplicaConfig {
+            seg,
+            config: ReplicaRecord {
+                members: members.iter().map(|n| n.0).collect(),
+                epoch,
+            },
+        });
     }
 
     /// Assume the primary role for `seg` at `epoch`. Idempotent under
@@ -586,6 +751,9 @@ impl DsmServer {
                 st.members.push(old);
             }
             st.epoch = epoch;
+            let members = st.members.clone();
+            drop(reps);
+            self.log_replica_config(seg, &members, epoch);
             self.metrics.promotions.inc();
             self.obs
                 .instant("dsm.server", "promote", format!("seg={seg} epoch={epoch}"));
@@ -608,6 +776,7 @@ impl DsmServer {
         if let Err(e) = self.store.create(seg, len) {
             return DsmReply::Err(e.into());
         }
+        self.log.append(LogRecord::SegmentCreate { seg, len });
         self.replicas.write().insert(
             seg,
             ReplicaState {
@@ -615,6 +784,7 @@ impl DsmServer {
                 epoch: 1,
             },
         );
+        self.log_replica_config(seg, &nodes, 1);
         for &backup in &nodes[1..] {
             let req = DsmRequest::MirrorCreate {
                 seg,
@@ -641,9 +811,13 @@ impl DsmServer {
             return DsmReply::Err(e.into());
         }
         match self.store.create(seg, len) {
+            Ok(()) => {
+                self.log.append(LogRecord::SegmentCreate { seg, len });
+                DsmReply::Ok
+            }
             // A retransmitted create finding the segment in place is the
-            // duplicate case, not a conflict.
-            Ok(()) | Err(RaError::SegmentExists(_)) => DsmReply::Ok,
+            // duplicate case (already logged), not a conflict.
+            Err(RaError::SegmentExists(_)) => DsmReply::Ok,
             Err(e) => DsmReply::Err(e.into()),
         }
     }
@@ -680,6 +854,15 @@ impl DsmServer {
             return DsmReply::Err(e.into());
         }
         *slot = version;
+        // Log the *primary's* version, not the local counter: after a
+        // replay the gate above must resume at the highest version this
+        // backup ever applied.
+        self.log.append(LogRecord::PageWrite {
+            seg,
+            page,
+            version,
+            data: data.to_vec(),
+        });
         self.metrics.mirror_applies.inc();
         DsmReply::Ok
     }
@@ -702,6 +885,7 @@ impl DsmServer {
             }
             reps.remove(&seg);
         }
+        self.log.append(LogRecord::SegmentDestroy { seg });
         self.drop_mirror_versions(seg);
         match self.store.destroy(seg) {
             Ok(()) | Err(RaError::SegmentNotFound(_)) => DsmReply::Ok,
@@ -740,7 +924,7 @@ impl DsmServer {
         }
         let nodes: Vec<NodeId> = members.iter().map(|&n| NodeId(n)).collect();
         let mut reps = self.replicas.write();
-        match reps.get_mut(&seg) {
+        let changed = match reps.get_mut(&seg) {
             Some(st) => {
                 if epoch < st.epoch {
                     return Err(RaError::PartitionUnavailable(format!(
@@ -748,18 +932,27 @@ impl DsmServer {
                         st.epoch
                     )));
                 }
-                st.members = nodes;
+                // Only log real view changes — this runs on every mirror
+                // push, and the common case is an unchanged view.
+                let changed = st.epoch != epoch || st.members != nodes;
+                st.members = nodes.clone();
                 st.epoch = epoch;
+                changed
             }
             None => {
                 reps.insert(
                     seg,
                     ReplicaState {
-                        members: nodes,
+                        members: nodes.clone(),
                         epoch,
                     },
                 );
+                true
             }
+        };
+        drop(reps);
+        if changed {
+            self.log_replica_config(seg, &nodes, epoch);
         }
         Ok(())
     }
@@ -855,7 +1048,10 @@ impl DsmServer {
     fn handle(&self, src: NodeId, req: DsmRequest) -> DsmReply {
         match req {
             DsmRequest::CreateSegment { seg, len } => match self.store.create(seg, len) {
-                Ok(()) => DsmReply::Ok,
+                Ok(()) => {
+                    self.log.append(LogRecord::SegmentCreate { seg, len });
+                    DsmReply::Ok
+                }
                 Err(e) => DsmReply::Err(e.into()),
             },
             DsmRequest::DestroySegment { seg } => {
@@ -873,6 +1069,7 @@ impl DsmServer {
                 }
                 match self.store.destroy(seg) {
                     Ok(()) => {
+                        self.log.append(LogRecord::SegmentDestroy { seg });
                         for idx in 0..self.shards.len() {
                             // lint:allow(hash-iter) — retain drops entries
                             // independently; visit order cannot be observed.
@@ -1350,6 +1547,12 @@ impl DsmServer {
         if let Ok(segment) = self.store.get(seg) {
             if let Ok(version) = segment.write().write_page(page, data.as_slice()) {
                 self.metrics.write_backs.inc();
+                self.log.append(LogRecord::PageWrite {
+                    seg,
+                    page,
+                    version,
+                    data: data.to_vec(),
+                });
                 // Recalled dirty data was never acknowledged to its
                 // writer, so a lost mirror here cannot violate the
                 // committed-durable invariant — but push it with the
@@ -1386,6 +1589,14 @@ impl DsmServer {
             },
             Err(e) => return DsmReply::Err(e.into()),
         };
+        // Log before mirroring: the ack below promises durability, and
+        // durability lives in the log, not the page cache.
+        self.log.append(LogRecord::PageWrite {
+            seg,
+            page,
+            version,
+            data: data.to_vec(),
+        });
         // Mirror before acknowledging: once the client sees Ok, every
         // replica must be able to serve this image after a failover.
         if let Err(e) = self.mirror_page(seg, page, data, version) {
@@ -1429,6 +1640,12 @@ impl DsmServer {
                     },
                     Err(e) => return Err(e.into()),
                 };
+                self.log.append(LogRecord::PageWrite {
+                    seg: p.seg,
+                    page: p.page,
+                    version,
+                    data: p.data.to_vec(),
+                });
                 // Per-page mirror before the per-page Ok: the batch reply
                 // acknowledges exactly the pages every replica now holds.
                 match self.mirror_page(p.seg, p.page, &p.data, version) {

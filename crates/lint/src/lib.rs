@@ -90,6 +90,7 @@ impl Config {
                 "obs".into(),
                 "codec".into(),
                 "chaos".into(),
+                "store".into(),
             ],
             dispatch: vec![
                 DispatchSpec {

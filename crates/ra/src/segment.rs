@@ -135,6 +135,34 @@ impl Segment {
         Ok(self.versions[idx])
     }
 
+    /// Install a replayed page image *and* its logged version — the
+    /// recovery path of a data server rebuilding its in-memory segment
+    /// cache from the append-only log (`clouds-store`). Unlike
+    /// [`Segment::write_page`] this does not mint a new version: the
+    /// version counter must continue exactly where the pre-crash server
+    /// left it, or post-restart mirror pushes would be mistaken for
+    /// stale duplicates by their receivers.
+    ///
+    /// # Errors
+    ///
+    /// [`RaError::OutOfRange`] if `page` is past the end or `data` is
+    /// not exactly one page.
+    pub fn restore_page(&mut self, page: u32, data: &[u8], version: u64) -> Result<()> {
+        let idx = self.check_page(page)?;
+        if data.len() != PAGE_SIZE {
+            return Err(RaError::OutOfRange {
+                segment: self.name,
+                offset: page as u64 * PAGE_SIZE as u64,
+                len: data.len() as u64,
+                segment_len: self.len,
+            });
+        }
+        let dst = self.pages[idx].get_or_insert_with(zero_page);
+        dst.copy_from_slice(data);
+        self.versions[idx] = self.versions[idx].max(version);
+        Ok(())
+    }
+
     /// Read an arbitrary byte range (may span pages).
     ///
     /// # Errors
@@ -192,10 +220,13 @@ impl Segment {
     }
 }
 
-/// The stable store of a data server: a set of segments that survive
-/// crashes (a crash in the simulation only destroys *volatile* state;
-/// `SegmentStore` contents persist, like the Unix files that backed the
-/// prototype's data service).
+/// The in-memory segment cache of a data server. Despite the name this
+/// is *volatile* state: durability lives in the append-only log
+/// (`clouds-store`), which every mutation writes through before it is
+/// acknowledged. A crash wipes this map ([`SegmentStore::clear`]) and
+/// restart rebuilds it by replaying the log — the same split as the
+/// prototype's data service, where DRAM caching fronted the Unix files
+/// that actually persisted.
 ///
 /// Cheap to clone; clones share the same store.
 #[derive(Debug, Clone, Default)]
@@ -252,6 +283,13 @@ impl SegmentStore {
     /// Whether a segment exists.
     pub fn contains(&self, name: SysName) -> bool {
         self.segments.read().contains_key(&name)
+    }
+
+    /// Drop every segment — the crash simulation wiping the data
+    /// server's DRAM. The caller is expected to repopulate from the
+    /// durable log before serving again.
+    pub fn clear(&self) {
+        self.segments.write().clear();
     }
 
     /// Number of stored segments.
