@@ -64,18 +64,24 @@ fn load(path: &str) -> Result<Vec<(String, u64)>, String> {
     Ok(out)
 }
 
-fn run(baseline_path: &str, fresh_path: &str) -> Result<bool, String> {
+/// Run the gate; `Ok` carries one pre-formatted
+/// `bench: committed X ns, measured Y ns (+Z%)` line per offending
+/// gated benchmark (empty = pass).
+fn run(baseline_path: &str, fresh_path: &str) -> Result<Vec<String>, String> {
     let baseline = load(baseline_path)?;
     let fresh = load(fresh_path)?;
     let base_of = |name: &str| baseline.iter().find(|(b, _)| b == name).map(|(_, v)| *v);
-    let mut ok = true;
+    let mut offenders = Vec::new();
     for (bench, fresh_min) in &fresh {
         let gated = GATED.contains(&bench.as_str());
         match base_of(bench) {
             Some(base_min) => {
                 let ratio = *fresh_min as f64 / base_min.max(1) as f64;
                 let verdict = if ratio > 1.0 + TOLERANCE && gated {
-                    ok = false;
+                    offenders.push(format!(
+                        "{bench}: committed {base_min} ns, measured {fresh_min} ns ({:+.1}%)",
+                        (ratio - 1.0) * 100.0
+                    ));
                     "REGRESSED"
                 } else if ratio > 1.0 + TOLERANCE {
                     "slower (not gated)"
@@ -100,7 +106,7 @@ fn run(baseline_path: &str, fresh_path: &str) -> Result<bool, String> {
             return Err(format!("gated benchmark `{name}` missing from {fresh_path}"));
         }
     }
-    Ok(ok)
+    Ok(offenders)
 }
 
 fn main() -> ExitCode {
@@ -110,16 +116,20 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     match run(baseline, fresh) {
-        Ok(true) => {
+        Ok(offenders) if offenders.is_empty() => {
             println!("bench_gate: within {:.0}% of baseline", TOLERANCE * 100.0);
             ExitCode::SUCCESS
         }
-        Ok(false) => {
+        Ok(offenders) => {
             eprintln!(
-                "bench_gate: gated benchmark regressed more than {:.0}% — \
+                "bench_gate: {} gated benchmark(s) regressed more than {:.0}% — \
                  investigate, or re-bless BENCH_dsm.json if intentional",
+                offenders.len(),
                 TOLERANCE * 100.0
             );
+            for line in &offenders {
+                eprintln!("bench_gate:   {line}");
+            }
             ExitCode::FAILURE
         }
         Err(e) => {

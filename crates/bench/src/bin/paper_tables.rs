@@ -10,8 +10,8 @@
 
 use clouds_bench::report::{ms, print_table, Row};
 use clouds_bench::{
-    causal_exp, consistency_exp, invocation_exp, kernel_exp, network_exp, paging_exp, pet_exp,
-    recovery_exp, sort_exp,
+    causal_exp, consistency_exp, invocation_exp, kernel_exp, load, network_exp, paging_exp,
+    pet_exp, recovery_exp, sort_exp,
 };
 
 fn main() {
@@ -337,6 +337,35 @@ fn main() {
                         r.log_segments,
                         if r.log_segments == 1 { "" } else { "s" },
                         r.records
+                    ),
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    // E13 — open-loop latency vs offered load: the saturation knee,
+    // measured coordinated-omission-correctly (latency from *intended*
+    // arrival, so queueing past the knee is charged, not hidden). Same
+    // sweep and seed as the committed SLO_dsm.json gate baselines.
+    let slo = load::run_e13(load::DEFAULT_SEED);
+    print_table(
+        "E13 Open-loop latency vs offered load (SLO sweep, seed-deterministic)",
+        &slo.iter()
+            .map(|p| {
+                Row::new(
+                    format!("{} @ {} rps offered", p.scenario, p.offered_rps),
+                    "knee expected",
+                    format!(
+                        "p50 {}, p99 {}, p999 {}",
+                        ms(p.p50),
+                        ms(p.p99),
+                        ms(p.p999)
+                    ),
+                    format!(
+                        "achieved {:.1} rps, {} reqs, {} errors",
+                        p.achieved_rps_milli as f64 / 1000.0,
+                        p.requests,
+                        p.errors
                     ),
                 )
             })

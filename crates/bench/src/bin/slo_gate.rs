@@ -1,0 +1,168 @@
+//! SLO regression gate over the open-loop sweep emitted by `slo_run`:
+//!
+//! ```text
+//! cargo run -p clouds-bench --release --bin slo_gate -- SLO_dsm.json fresh_slo.json
+//! ```
+//!
+//! Every committed point is keyed by `(scenario, offered_rps)` and must
+//! be present in the fresh run. A point fails the gate when any latency
+//! percentile (p50/p99/p999) regresses by more than 15%, when achieved
+//! throughput drops by more than 15%, or when new request errors
+//! appear. The sweep is deterministic virtual time, so in practice any
+//! delta at all is a real behaviour change; the tolerance only forgives
+//! intentional small cost-model shifts. Failure messages print the
+//! committed-vs-measured numbers for each offending metric.
+
+use std::process::ExitCode;
+
+/// Allowed relative regression for percentiles and throughput.
+const TOLERANCE: f64 = 0.15;
+
+/// Pull `"key":<digits>` out of one JSON line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Pull `"key":"<value>"` out of one JSON line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// One parsed sweep point.
+struct Point {
+    scenario: String,
+    offered_rps: u64,
+    errors: u64,
+    achieved_rps_milli: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
+fn load(path: &str) -> Result<Vec<Point>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: &str| format!("{path}:{}: {msg}", i + 1);
+        let get = |key: &str| field_u64(line, key).ok_or_else(|| at(&format!("no \"{key}\"")));
+        out.push(Point {
+            scenario: field_str(line, "scenario").ok_or_else(|| at("no \"scenario\""))?.to_string(),
+            offered_rps: get("offered_rps")?,
+            errors: get("errors")?,
+            achieved_rps_milli: get("achieved_rps_milli")?,
+            p50_ns: get("p50_ns")?,
+            p99_ns: get("p99_ns")?,
+            p999_ns: get("p999_ns")?,
+        });
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no sweep points"));
+    }
+    Ok(out)
+}
+
+/// Offending-metric lines (`committed X, measured Y (+Z%)`); empty =
+/// the fresh sweep holds every committed SLO.
+fn run(baseline_path: &str, fresh_path: &str) -> Result<Vec<String>, String> {
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    let mut offenders = Vec::new();
+    for b in &baseline {
+        let key = format!("{}@{}rps", b.scenario, b.offered_rps);
+        let Some(f) = fresh
+            .iter()
+            .find(|f| f.scenario == b.scenario && f.offered_rps == b.offered_rps)
+        else {
+            offenders.push(format!("{key}: committed point missing from {fresh_path}"));
+            continue;
+        };
+        let mut point_ok = true;
+        // Higher-is-worse latency metrics.
+        for (metric, committed, measured) in [
+            ("p50", b.p50_ns, f.p50_ns),
+            ("p99", b.p99_ns, f.p99_ns),
+            ("p999", b.p999_ns, f.p999_ns),
+        ] {
+            let ratio = measured as f64 / committed.max(1) as f64;
+            if ratio > 1.0 + TOLERANCE {
+                point_ok = false;
+                offenders.push(format!(
+                    "{key} {metric}: committed {committed} ns, measured {measured} ns ({:+.1}%)",
+                    (ratio - 1.0) * 100.0
+                ));
+            }
+        }
+        // Lower-is-worse throughput.
+        let tput = f.achieved_rps_milli as f64 / b.achieved_rps_milli.max(1) as f64;
+        if tput < 1.0 - TOLERANCE {
+            point_ok = false;
+            offenders.push(format!(
+                "{key} throughput: committed {:.3} rps, measured {:.3} rps ({:+.1}%)",
+                b.achieved_rps_milli as f64 / 1000.0,
+                f.achieved_rps_milli as f64 / 1000.0,
+                (tput - 1.0) * 100.0
+            ));
+        }
+        if f.errors > b.errors {
+            point_ok = false;
+            offenders.push(format!(
+                "{key} errors: committed {}, measured {}",
+                b.errors, f.errors
+            ));
+        }
+        println!(
+            "{key:<16} p50 {:>12}/{:<12} p99 {:>12}/{:<12} p999 {:>12}/{:<12} {}",
+            b.p50_ns,
+            f.p50_ns,
+            b.p99_ns,
+            f.p99_ns,
+            b.p999_ns,
+            f.p999_ns,
+            if point_ok { "ok" } else { "REGRESSED" },
+        );
+    }
+    Ok(offenders)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline, fresh] = args.as_slice() else {
+        eprintln!("usage: slo_gate <SLO_baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    match run(baseline, fresh) {
+        Ok(offenders) if offenders.is_empty() => {
+            println!(
+                "slo_gate: every committed SLO point holds within {:.0}%",
+                TOLERANCE * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(offenders) => {
+            eprintln!(
+                "slo_gate: {} SLO metric(s) regressed more than {:.0}% — \
+                 investigate, or re-bless SLO_dsm.json (slo_run --out SLO_dsm.json) if intentional",
+                offenders.len(),
+                TOLERANCE * 100.0
+            );
+            for line in &offenders {
+                eprintln!("slo_gate:   {line}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("slo_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -18,6 +18,7 @@ pub mod causal_exp;
 pub mod consistency_exp;
 pub mod invocation_exp;
 pub mod kernel_exp;
+pub mod load;
 pub mod network_exp;
 pub mod paging_exp;
 pub mod pet_exp;

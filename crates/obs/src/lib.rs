@@ -442,14 +442,31 @@ impl Counter {
     }
 }
 
-/// Number of log₂ buckets in a [`Histogram`] (covers the full `u64`
-/// nanosecond range).
-pub const HISTOGRAM_BUCKETS: usize = 64;
+/// log₂ of the linear sub-buckets per major (log₂) bucket.
+const HIST_SUB_BITS: u32 = 5;
 
-/// Lock-free histogram of virtual-time durations in log₂ buckets:
-/// bucket `k` counts durations `d` with `2^k ≤ d.as_nanos() < 2^(k+1)`
-/// (bucket 0 also counts zero and one). Quantiles are bucket upper
-/// bounds — ~2× resolution, plenty for per-layer latency breakdowns.
+/// Linear sub-buckets per major bucket: each power-of-two range
+/// `[2^k, 2^(k+1))` is split into 32 equal-width slots.
+pub const HIST_SUB_BUCKETS: usize = 1 << HIST_SUB_BITS;
+
+/// Total buckets in a [`Histogram`]: 32 exact slots for values below
+/// 32 ns, then 32 linear sub-buckets for each of the 59 major log₂
+/// ranges `[2^5, 2^64)` — HDR-style resolution over the full `u64`
+/// nanosecond range.
+pub const HISTOGRAM_BUCKETS: usize = HIST_SUB_BUCKETS + (64 - HIST_SUB_BITS as usize) * HIST_SUB_BUCKETS;
+
+/// Worst-case relative error of a reported quantile: a bucket spans
+/// `2^k / 32` starting at `≥ 2^k · (32 + s) / 32`, so the exclusive
+/// upper bound we report overshoots the true value by at most 1/32
+/// (values below 32 ns are held in exact 1 ns slots).
+pub const HIST_RELATIVE_ERROR: f64 = 1.0 / HIST_SUB_BUCKETS as f64;
+
+/// Lock-free HDR-style histogram of virtual-time durations: log₂ major
+/// buckets × 32 linear sub-buckets, so every reported quantile is
+/// within [`HIST_RELATIVE_ERROR`] (≈3.1%) of the true sample — tight
+/// enough to gate p999 SLOs on, while staying plain relaxed atomics on
+/// the record path. Quantiles are bucket upper bounds; values below
+/// 32 ns are exact.
 pub struct Histogram {
     count: AtomicU64,
     sum_ns: AtomicU64,
@@ -482,11 +499,41 @@ impl Default for Histogram {
 }
 
 fn bucket_index(ns: u64) -> usize {
-    if ns == 0 {
-        0
-    } else {
-        (64 - ns.leading_zeros()) as usize - 1
+    if ns < HIST_SUB_BUCKETS as u64 {
+        return ns as usize;
     }
+    let h = 63 - u64::from(ns.leading_zeros()); // highest set bit, ≥ 5
+    let major = h - u64::from(HIST_SUB_BITS);
+    let sub = (ns >> (h - u64::from(HIST_SUB_BITS))) - HIST_SUB_BUCKETS as u64;
+    (HIST_SUB_BUCKETS as u64 + major * HIST_SUB_BUCKETS as u64 + sub) as usize
+}
+
+/// Exclusive upper bound of bucket `i`, saturating at `u64::MAX`.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i < HIST_SUB_BUCKETS {
+        return i as u64 + 1;
+    }
+    let major = i / HIST_SUB_BUCKETS - 1;
+    let sub = (i % HIST_SUB_BUCKETS) as u128;
+    let bound = (HIST_SUB_BUCKETS as u128 + sub + 1) << major;
+    bound.min(u128::from(u64::MAX)) as u64
+}
+
+/// Exact-count quantile over a loaded bucket vector: the exclusive
+/// upper bound of the bucket holding the rank-`⌈q·count⌉` sample.
+fn quantile_of(buckets: &[u64], count: u64, q: f64) -> Vt {
+    if count == 0 {
+        return Vt::ZERO;
+    }
+    let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (k, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return Vt::from_nanos(bucket_upper_bound(k));
+        }
+    }
+    Vt::from_nanos(u64::MAX)
 }
 
 impl Histogram {
@@ -500,6 +547,38 @@ impl Histogram {
         self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Exact-count quantile `q ∈ [0, 1]`: walks the live buckets and
+    /// returns the exclusive upper bound of the one holding the
+    /// rank-`⌈q·count⌉` sample — within [`HIST_RELATIVE_ERROR`] of the
+    /// true sample value. [`Vt::ZERO`] when empty.
+    pub fn quantile(&self, q: f64) -> Vt {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_of(&buckets, count, q)
+    }
+
+    /// Fold `other`'s samples into `self` (bucket-wise addition, so
+    /// `merge_from` then [`Histogram::summary`] is equivalent to having
+    /// recorded both sample sets into one histogram). Used to combine
+    /// per-node latency histograms into a cluster-wide SLO view.
+    pub fn merge_from(&self, other: &Histogram) {
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min_ns
+            .fetch_min(other.min_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
     /// Point-in-time summary. Under concurrent writers each field is
     /// individually atomic; the summary is consistent once writers have
     /// quiesced (every recorded value appears in exactly one bucket and
@@ -511,30 +590,16 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        let quantile = |q: f64| -> Vt {
-            if count == 0 {
-                return Vt::ZERO;
-            }
-            let rank = ((count as f64 * q).ceil() as u64).clamp(1, count);
-            let mut seen = 0u64;
-            for (k, &n) in buckets.iter().enumerate() {
-                seen += n;
-                if seen >= rank {
-                    // Exclusive upper bound of bucket k, saturating at
-                    // the top bucket.
-                    return Vt::from_nanos(if k >= 63 { u64::MAX } else { 1u64 << (k + 1) });
-                }
-            }
-            Vt::from_nanos(u64::MAX)
-        };
         let min = self.min_ns.load(Ordering::Relaxed);
         HistogramSummary {
             count,
             sum: Vt::from_nanos(self.sum_ns.load(Ordering::Relaxed)),
             min: if min == u64::MAX { Vt::ZERO } else { Vt::from_nanos(min) },
             max: Vt::from_nanos(self.max_ns.load(Ordering::Relaxed)),
-            p50: quantile(0.50),
-            p99: quantile(0.99),
+            p50: quantile_of(&buckets, count, 0.50),
+            p90: quantile_of(&buckets, count, 0.90),
+            p99: quantile_of(&buckets, count, 0.99),
+            p999: quantile_of(&buckets, count, 0.999),
         }
     }
 }
@@ -552,8 +617,12 @@ pub struct HistogramSummary {
     pub max: Vt,
     /// Median (bucket upper bound).
     pub p50: Vt,
+    /// 90th percentile (bucket upper bound).
+    pub p90: Vt,
     /// 99th percentile (bucket upper bound).
     pub p99: Vt,
+    /// 99.9th percentile (bucket upper bound) — the SLO tail.
+    pub p999: Vt,
 }
 
 impl HistogramSummary {
@@ -566,12 +635,20 @@ impl HistogramSummary {
     }
 }
 
+/// Counter bumped once per read of a never-registered metric name —
+/// the loud alternative to silently minting a zero (see
+/// [`MetricsRegistry::counter_value`]).
+pub const REGISTRY_MISSES: &str = "obs.registry.misses";
+
 /// Named counters and histograms for one node. Lookup by name is
 /// mutex-guarded (cold); returned handles are lock-free.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Never-registered names already warned about (one warning per
+    /// name per registry; every miss still bumps [`REGISTRY_MISSES`]).
+    warned_misses: Mutex<std::collections::BTreeSet<String>>,
 }
 
 /// Deterministically ordered dump of a [`MetricsRegistry`].
@@ -599,13 +676,15 @@ impl RegistrySnapshot {
         for (name, s) in &histograms {
             let _ = writeln!(
                 out,
-                "hist {name} count={} sum={} min={} max={} p50={} p99={}",
+                "hist {name} count={} sum={} min={} max={} p50={} p90={} p99={} p999={}",
                 s.count,
                 s.sum.as_nanos(),
                 s.min.as_nanos(),
                 s.max.as_nanos(),
                 s.p50.as_nanos(),
-                s.p99.as_nanos()
+                s.p90.as_nanos(),
+                s.p99.as_nanos(),
+                s.p999.as_nanos()
             );
         }
         out
@@ -643,25 +722,65 @@ impl MetricsRegistry {
         Arc::clone(map.entry(name.to_string()).or_default())
     }
 
-    /// Current value of counter `name` (0 if never created).
-    pub fn counter_value(&self, name: &str) -> u64 {
-        self.counters.lock().get(name).map_or(0, |c| c.get())
+    /// A read of metric `name` found nothing registered: bump
+    /// [`REGISTRY_MISSES`] and warn once per name. A typo on either the
+    /// write or the read side of a metric used to silently return zero
+    /// — a report built on the wrong name looked plausible instead of
+    /// failing loudly (the footgun OBS_SCHEMA.md exists to prevent).
+    fn note_miss(&self, kind: &str, name: &str) {
+        if name == REGISTRY_MISSES {
+            // Reading the miss counter itself before any miss happened
+            // is not a miss — it would recurse into minting itself.
+            return;
+        }
+        // Literal (not the const) so `clouds-lint`'s obs-schema rule
+        // sees the registration site.
+        self.counter("obs.registry.misses").inc();
+        if self.warned_misses.lock().insert(name.to_string()) {
+            eprintln!(
+                "clouds-obs: read of unregistered {kind} `{name}` returns zero — \
+                 nothing ever recorded under that name (see OBS_SCHEMA.md)"
+            );
+        }
     }
 
-    /// Summary of histogram `name` (empty summary if never created).
+    /// Current value of counter `name`.
+    ///
+    /// A never-registered name returns 0, but loudly: it bumps the
+    /// [`REGISTRY_MISSES`] counter and warns on stderr once per name.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let existing = self.counters.lock().get(name).map(Arc::clone);
+        match existing {
+            Some(c) => c.get(),
+            None => {
+                self.note_miss("counter", name);
+                0
+            }
+        }
+    }
+
+    /// Summary of histogram `name`.
+    ///
+    /// A never-registered name returns an empty summary, but loudly: it
+    /// bumps [`REGISTRY_MISSES`] and warns on stderr once per name.
     pub fn histogram_summary(&self, name: &str) -> HistogramSummary {
-        self.histograms
-            .lock()
-            .get(name)
-            .map(|h| h.summary())
-            .unwrap_or(HistogramSummary {
-                count: 0,
-                sum: Vt::ZERO,
-                min: Vt::ZERO,
-                max: Vt::ZERO,
-                p50: Vt::ZERO,
-                p99: Vt::ZERO,
-            })
+        let existing = self.histograms.lock().get(name).map(Arc::clone);
+        match existing {
+            Some(h) => h.summary(),
+            None => {
+                self.note_miss("histogram", name);
+                HistogramSummary {
+                    count: 0,
+                    sum: Vt::ZERO,
+                    min: Vt::ZERO,
+                    max: Vt::ZERO,
+                    p50: Vt::ZERO,
+                    p90: Vt::ZERO,
+                    p99: Vt::ZERO,
+                    p999: Vt::ZERO,
+                }
+            }
+        }
     }
 
     /// Name-sorted snapshot of everything registered.
@@ -810,7 +929,14 @@ impl NodeObs {
         disc: &str,
     ) -> Span {
         match current_ctx() {
-            Some(parent) => self.span_in_trace(parent.trace_id, parent.span_id, layer, name, disc),
+            Some(parent) => self.span_in_trace_at(
+                self.clock.now(),
+                parent.trace_id,
+                parent.span_id,
+                layer,
+                name,
+                disc,
+            ),
             None => self.span(layer, name),
         }
     }
@@ -824,18 +950,36 @@ impl NodeObs {
         name: &'static str,
         disc: &str,
     ) -> Span {
-        self.span_in_trace(trace_id, 0, layer, name, disc)
+        self.span_in_trace_at(self.clock.now(), trace_id, 0, layer, name, disc)
     }
 
-    fn span_in_trace(
+    /// Open a root span that **starts at `start`**, which may be before
+    /// the clock's current time. This is how open-loop load harnesses
+    /// charge queueing delay honestly: the span covers the request from
+    /// its *intended arrival* to completion, so time spent waiting
+    /// behind a backlog is measured instead of hidden
+    /// (coordinated-omission-correct). `start` later than now is
+    /// clamped at record time (durations never go negative).
+    pub fn root_span_at(
         self: &Arc<Self>,
+        start: Vt,
+        trace_id: u64,
+        layer: &'static str,
+        name: &'static str,
+        disc: &str,
+    ) -> Span {
+        self.span_in_trace_at(start, trace_id, 0, layer, name, disc)
+    }
+
+    fn span_in_trace_at(
+        self: &Arc<Self>,
+        start: Vt,
         trace_id: u64,
         parent_id: u64,
         layer: &'static str,
         name: &'static str,
         disc: &str,
     ) -> Span {
-        let start = self.clock.now();
         let span_id = derive_id(
             &[trace_id, parent_id, self.node, start.as_nanos()],
             &[layer, name, disc],
@@ -1054,12 +1198,16 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_quantiles() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 0);
-        assert_eq!(bucket_index(2), 1);
-        assert_eq!(bucket_index(3), 1);
-        assert_eq!(bucket_index(4), 2);
-        assert_eq!(bucket_index(u64::MAX), 63);
+        // Values below 32 ns are exact: one slot per value.
+        for ns in 0..32u64 {
+            assert_eq!(bucket_index(ns), ns as usize, "exact slot for {ns}");
+        }
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(63), 63);
+        assert_eq!(bucket_index(64), 64);
+        assert_eq!(bucket_index(65), 64, "sub-bucket width 2 at 2^6");
+        assert_eq!(bucket_index(66), 65);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
 
         let h = Histogram::default();
         for us in [100u64, 200, 300, 400, 10_000] {
@@ -1070,9 +1218,88 @@ mod tests {
         assert_eq!(s.min, Vt::from_micros(100));
         assert_eq!(s.max, Vt::from_micros(10_000));
         assert_eq!(s.mean(), Vt::from_micros(2200));
-        // p50 lands in the bucket holding 200µs and 300µs values.
-        assert!(s.p50 >= Vt::from_micros(200) && s.p50 <= Vt::from_micros(600));
-        assert!(s.p99 >= Vt::from_micros(10_000));
+        // p50 is the rank-3 sample (300µs) within the ≤3.2% bound.
+        assert!(s.p50 >= Vt::from_micros(300) && s.p50 <= Vt::from_micros(310));
+        assert!(s.p99 >= Vt::from_micros(10_000) && s.p99 <= Vt::from_micros(10_320));
+    }
+
+    /// Every reported quantile must stay within the documented relative
+    /// error bound of the true sample: record known value sets, compare
+    /// `quantile(q)` against the exact rank statistic.
+    #[test]
+    fn histogram_percentile_accuracy_within_documented_bound() {
+        let within = |reported: Vt, exact: u64| {
+            let r = reported.as_nanos();
+            assert!(r >= exact, "quantile {r} below exact sample {exact}");
+            let bound = ((exact as f64) * HIST_RELATIVE_ERROR).max(1.0);
+            assert!(
+                (r - exact) as f64 <= bound + 1.0,
+                "quantile {r} overshoots exact {exact} by more than {bound}"
+            );
+        };
+
+        // Uniform 1..=10_000 ns.
+        let h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.record(Vt::from_nanos(v));
+        }
+        for (q, exact) in [(0.50, 5_000), (0.90, 9_000), (0.99, 9_900), (0.999, 9_990)] {
+            within(h.quantile(q), exact);
+        }
+        let s = h.summary();
+        within(s.p50, 5_000);
+        within(s.p90, 9_000);
+        within(s.p99, 9_900);
+        within(s.p999, 9_990);
+
+        // Bimodal with a sparse far tail: 990 fast ops at 8 µs, 10 slow
+        // at 90 ms — p99/p999 must resolve the far mode, not round to a
+        // power of two.
+        let h = Histogram::default();
+        for _ in 0..990 {
+            h.record(Vt::from_micros(8));
+        }
+        for _ in 0..10 {
+            h.record(Vt::from_millis(90));
+        }
+        within(h.quantile(0.50), 8_000);
+        within(h.quantile(0.99), 8_000);
+        within(h.quantile(0.999), 90_000_000);
+
+        // Single values across the full range: reported p100 within
+        // bound of the value itself.
+        for v in [1u64, 31, 32, 33, 1_000, 123_457, 999_999_937, u64::MAX / 3] {
+            let h = Histogram::default();
+            h.record(Vt::from_nanos(v));
+            within(h.quantile(1.0), v);
+        }
+    }
+
+    /// `merge(a, b).summary()` must equal the summary of one histogram
+    /// that recorded `a ∪ b` directly.
+    #[test]
+    fn histogram_merge_equals_union() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let union = Histogram::default();
+        for v in [3u64, 50, 51, 8_000, 8_191, 1 << 40] {
+            a.record(Vt::from_nanos(v));
+            union.record(Vt::from_nanos(v));
+        }
+        for v in [0u64, 7, 8_192, 123_456_789, u64::MAX] {
+            b.record(Vt::from_nanos(v));
+            union.record(Vt::from_nanos(v));
+        }
+        a.merge_from(&b);
+        assert_eq!(a.summary(), union.summary());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.quantile(q), union.quantile(q), "q={q}");
+        }
+
+        // Merging an empty histogram is the identity.
+        let before = union.summary();
+        union.merge_from(&Histogram::default());
+        assert_eq!(union.summary(), before);
     }
 
     #[test]
@@ -1084,6 +1311,29 @@ mod tests {
         b.add(2);
         assert_eq!(reg.counter_value("x"), 3);
         assert_eq!(reg.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn registry_reads_of_unregistered_names_are_counted() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.counter_value(REGISTRY_MISSES), 0, "no misses yet");
+
+        assert_eq!(reg.counter_value("never.registered"), 0);
+        assert_eq!(reg.histogram_summary("never.registered").count, 0);
+        assert_eq!(reg.counter_value("never.registered"), 0);
+        assert_eq!(
+            reg.counter_value(REGISTRY_MISSES),
+            3,
+            "every miss bumps the counter (the warning itself is one-shot per name)"
+        );
+
+        // Reading the miss counter itself never recurses or self-counts.
+        assert_eq!(reg.counter_value(REGISTRY_MISSES), 3);
+
+        // Registering afterwards stops the counting.
+        reg.counter("never.registered").add(7);
+        assert_eq!(reg.counter_value("never.registered"), 7);
+        assert_eq!(reg.counter_value(REGISTRY_MISSES), 3);
     }
 
     #[test]
@@ -1147,18 +1397,32 @@ mod tests {
 
     #[test]
     fn histogram_bucket_boundaries_at_powers_of_two() {
-        // Every exact power of two opens its own bucket; the value just
-        // below it still belongs to the previous one.
-        for k in 0..64u32 {
+        // Every power of two ≥ 32 opens a fresh major bucket (first
+        // sub-slot); the value just below it is the last sub-slot of the
+        // previous major bucket. Indices are contiguous.
+        for k in HIST_SUB_BITS..64 {
             let edge = 1u64 << k;
-            assert_eq!(bucket_index(edge), k as usize, "edge 2^{k}");
-            if k > 0 {
-                assert_eq!(bucket_index(edge - 1), k as usize - 1, "below 2^{k}");
-            }
+            let expected = HIST_SUB_BUCKETS * (k - HIST_SUB_BITS + 1) as usize;
+            assert_eq!(bucket_index(edge), expected, "edge 2^{k}");
+            assert_eq!(bucket_index(edge - 1), expected - 1, "below 2^{k}");
         }
         assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(u64::MAX), 63);
-        assert_eq!(bucket_index(u64::MAX - 1), 63);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX - 1), HISTOGRAM_BUCKETS - 1);
+
+        // Upper bounds are exclusive, contiguous and monotone: bucket
+        // i's bound is bucket i+1's lower edge.
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let ub = bucket_upper_bound(i);
+            assert!(ub > 0);
+            assert_eq!(
+                bucket_index(ub),
+                i + 1,
+                "upper bound {ub} of bucket {i} opens bucket {}",
+                i + 1
+            );
+            assert_eq!(bucket_index(ub - 1), i, "bound {ub} is exclusive");
+        }
 
         // Top-bucket samples: quantiles saturate at u64::MAX instead of
         // overflowing the exclusive upper bound.
@@ -1171,14 +1435,15 @@ mod tests {
         assert_eq!(s.p50, Vt::from_nanos(u64::MAX));
         assert_eq!(s.p99, Vt::from_nanos(u64::MAX));
 
-        // Zero lands in bucket 0 with the ones.
+        // Zero and one land in their own exact slots.
         let z = Histogram::default();
         z.record(Vt::ZERO);
         z.record(Vt::from_nanos(1));
         let s = z.summary();
         assert_eq!(s.count, 2);
         assert_eq!(s.min, Vt::ZERO);
-        assert_eq!(s.p50, Vt::from_nanos(2), "bucket 0 upper bound");
+        assert_eq!(s.p50, Vt::from_nanos(1), "zero slot's upper bound");
+        assert_eq!(s.p99, Vt::from_nanos(2), "one slot's upper bound");
     }
 
     #[test]
@@ -1190,7 +1455,9 @@ mod tests {
         assert_eq!(s.min, Vt::ZERO);
         assert_eq!(s.max, Vt::ZERO);
         assert_eq!(s.p50, Vt::ZERO);
+        assert_eq!(s.p90, Vt::ZERO);
         assert_eq!(s.p99, Vt::ZERO);
+        assert_eq!(s.p999, Vt::ZERO);
     }
 
     #[test]
@@ -1267,7 +1534,7 @@ mod tests {
         let text = reg.snapshot().canonical_text();
         assert_eq!(
             text,
-            "counter aa.first 1\ncounter zz.last 2\nhist m.lat count=1 sum=5 min=5 max=5 p50=8 p99=8\n"
+            "counter aa.first 1\ncounter zz.last 2\nhist m.lat count=1 sum=5 min=5 max=5 p50=6 p90=6 p99=6 p999=6\n"
         );
 
         // Even a hand-assembled snapshot in the wrong order serializes
