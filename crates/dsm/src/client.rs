@@ -753,7 +753,10 @@ impl Partition for DsmClientPartition {
     fn ack_page_install(&self, seg: SysName, page: u32, grant_seq: u64) {
         // Fire-and-forget: if the ack is lost the manager's deadline
         // expires and coherence proceeds conservatively.
-        if let Some(home) = self.homes.lock().get(&seg).copied() {
+        // Copy the home out first: an `if let` scrutinee would keep the
+        // `homes` guard alive across the notify send.
+        let home = self.homes.lock().get(&seg).copied();
+        if let Some(home) = home {
             self.ratp.notify(
                 home,
                 ports::DSM_SERVER,

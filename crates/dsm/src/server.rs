@@ -1544,28 +1544,36 @@ impl DsmServer {
     }
 
     fn apply_write_back(&self, seg: SysName, page: u32, data: &PageBytes) {
-        if let Ok(segment) = self.store.get(seg) {
-            if let Ok(version) = segment.write().write_page(page, data.as_slice()) {
-                self.metrics.write_backs.inc();
-                self.log.append(LogRecord::PageWrite {
-                    seg,
-                    page,
-                    version,
-                    data: data.to_vec(),
-                });
-                // Recalled dirty data was never acknowledged to its
-                // writer, so a lost mirror here cannot violate the
-                // committed-durable invariant — but push it with the
-                // full patient budget anyway so replicas stay
-                // byte-identical, and make the rare failure loud.
-                if let Err(e) = self.mirror_page(seg, page, data, version) {
-                    self.obs.instant(
-                        "dsm.server",
-                        "mirror_recall_failed",
-                        format!("seg={seg} page={page}: {e}"),
-                    );
-                }
-            }
+        let Ok(segment) = self.store.get(seg) else {
+            return;
+        };
+        // Write under the segment lock, then release it before the log
+        // append and the mirror RPC — an `if let` scrutinee would keep
+        // the write guard alive across the full mirror budget, stalling
+        // every other access to the segment (same pattern as
+        // `write_back`).
+        let written = segment.write().write_page(page, data.as_slice());
+        let Ok(version) = written else {
+            return;
+        };
+        self.metrics.write_backs.inc();
+        self.log.append(LogRecord::PageWrite {
+            seg,
+            page,
+            version,
+            data: data.to_vec(),
+        });
+        // Recalled dirty data was never acknowledged to its
+        // writer, so a lost mirror here cannot violate the
+        // committed-durable invariant — but push it with the
+        // full patient budget anyway so replicas stay
+        // byte-identical, and make the rare failure loud.
+        if let Err(e) = self.mirror_page(seg, page, data, version) {
+            self.obs.instant(
+                "dsm.server",
+                "mirror_recall_failed",
+                format!("seg={seg} page={page}: {e}"),
+            );
         }
     }
 

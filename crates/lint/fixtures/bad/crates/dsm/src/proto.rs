@@ -1,0 +1,19 @@
+//! Fixture: the DSM wire protocol with the PR-6/PR-8 replication
+//! variants. The handler in `server.rs` omits `AdoptReplicaConfig` —
+//! the dispatch-arm rule must name it.
+
+pub enum DsmRequest {
+    FetchPage { seg: u64, page: u32 },
+    WriteBack { seg: u64, page: u32 },
+    CreateReplicated { seg: u64 },
+    MirrorCreate { seg: u64 },
+    MirrorPage { seg: u64, page: u32 },
+    Promote { seg: u64, epoch: u64 },
+    AdoptReplicaConfig { seg: u64, epoch: u64 },
+}
+
+pub enum DsmReply {
+    Ok,
+    Grant { version: u64 },
+    Err(String),
+}

@@ -1,0 +1,18 @@
+//! Fixture: the DSM wire protocol, every variant of which is handled
+//! correctly in `server.rs`.
+
+pub enum DsmRequest {
+    FetchPage { seg: u64, page: u32 },
+    WriteBack { seg: u64, page: u32 },
+    CreateReplicated { seg: u64 },
+    MirrorCreate { seg: u64 },
+    MirrorPage { seg: u64, page: u32 },
+    Promote { seg: u64, epoch: u64 },
+    AdoptReplicaConfig { seg: u64, epoch: u64 },
+}
+
+pub enum DsmReply {
+    Ok,
+    Grant { version: u64 },
+    Err(String),
+}

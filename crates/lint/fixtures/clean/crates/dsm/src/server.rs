@@ -1,0 +1,107 @@
+//! Fixture: a DSM server handler that satisfies all three
+//! inter-procedural rule families — every arm handled, every durable
+//! mutation fenced and logged before its ack, no guard held across a
+//! blocking call (dirty pages are drained under the lock, sent after
+//! releasing it), and the one `lint:allow` present suppresses a live
+//! finding, so stale-allow stays quiet too.
+
+use crate::proto::{DsmReply, DsmRequest};
+
+pub struct DsmServer {
+    store: Store,
+    log: Log,
+    ratp: Ratp,
+    dirty: parking_lot::Mutex<Vec<u32>>,
+    wake_tx: Sender,
+}
+
+impl DsmServer {
+    pub fn handle(&self, req: DsmRequest) -> DsmReply {
+        match req {
+            DsmRequest::FetchPage { seg, page } => {
+                if !self.check_serving(seg) {
+                    return DsmReply::Err("not serving".to_string());
+                }
+                let version = self.store.read_version(seg, page);
+                DsmReply::Grant { version }
+            }
+            DsmRequest::WriteBack { seg, page } => self.apply_write(seg, page),
+            DsmRequest::CreateReplicated { seg } => {
+                self.store.create(seg);
+                self.log.append(seg);
+                DsmReply::Ok
+            }
+            DsmRequest::MirrorCreate { seg } => {
+                self.store.create(seg);
+                self.log.append(seg);
+                DsmReply::Ok
+            }
+            DsmRequest::MirrorPage { seg, page } => self.apply_write(seg, page),
+            DsmRequest::Promote { seg, epoch } => {
+                self.log.append(seg + epoch);
+                DsmReply::Ok
+            }
+            DsmRequest::AdoptReplicaConfig { seg, epoch } => {
+                self.log.append(seg + epoch);
+                DsmReply::Ok
+            }
+        }
+    }
+
+    /// Fence, mutate, log, ack — the full discipline.
+    fn apply_write(&self, seg: u64, page: u32) -> DsmReply {
+        if !self.check_serving(seg) {
+            return DsmReply::Err("not serving".to_string());
+        }
+        self.store.write_page(seg, page);
+        self.log.append(seg);
+        DsmReply::Ok
+    }
+
+    fn check_serving(&self, seg: u64) -> bool {
+        seg != 0
+    }
+
+    /// Drain under the lock, call after releasing it.
+    fn flush_dirty(&self) {
+        let drained: Vec<u32> = {
+            let mut dirty = self.dirty.lock();
+            dirty.drain(..).collect()
+        };
+        for page in drained {
+            self.ratp.call(page);
+        }
+    }
+
+    /// A *used* allow: the send really is under the guard, the
+    /// suppression is live, and stale-allow must not fire on it.
+    fn nudge(&self) {
+        let dirty = self.dirty.lock();
+        // lint:allow(lock-across-call) — wake_tx is unbounded; send never blocks.
+        self.wake_tx.send(dirty.first());
+    }
+}
+
+pub struct Store;
+impl Store {
+    pub fn read_version(&self, _seg: u64, _page: u32) -> u64 {
+        0
+    }
+    pub fn write_page(&self, _seg: u64, _page: u32) {}
+    pub fn create(&self, _seg: u64) {}
+}
+
+pub struct Log;
+impl Log {
+    pub fn append(&self, _rec: u64) {}
+}
+
+pub struct Ratp;
+impl Ratp {
+    pub fn call(&self, _page: u32) {}
+}
+
+pub struct Sender;
+impl Sender {
+    pub fn send(&self, _v: Option<&u32>) {}
+}

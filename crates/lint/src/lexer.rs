@@ -80,9 +80,19 @@ impl LexedFile {
     /// True when `rule` is suppressed at `line` by an allow directive
     /// on the line itself or on a directive-only line above it.
     pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allowing_line(rule, line).is_some()
+    }
+
+    /// The line of the `lint:allow` directive suppressing `rule` at
+    /// `line`, if any — the line itself, or a directive-only line
+    /// reached by walking upward over consecutive comment-only lines.
+    /// Identifying the directive (not just the suppression) lets the
+    /// engine track which directives are actually used and report the
+    /// rest as stale.
+    pub fn allowing_line(&self, rule: &str, line: u32) -> Option<u32> {
         if let Some(rules) = self.allows.get(&line) {
             if rules.contains(rule) {
-                return true;
+                return Some(line);
             }
         }
         // Walk upward over consecutive comment-only lines.
@@ -90,15 +100,15 @@ impl LexedFile {
         while l > 1 {
             l -= 1;
             if self.code_lines.contains(&l) {
-                return false;
+                return None;
             }
             if let Some(rules) = self.allows.get(&l) {
                 if rules.contains(rule) {
-                    return true;
+                    return Some(l);
                 }
             }
         }
-        false
+        None
     }
 }
 
@@ -342,8 +352,18 @@ fn skip_char_literal(b: &[u8], start: usize) -> usize {
 }
 
 /// Harvest `lint:allow(rule1, rule2)` directives from one comment line.
+///
+/// A directive must *lead* the comment (first content after the
+/// `//`/`/*`/`!`/`*` markers): prose that merely mentions
+/// `lint:allow(...)` mid-sentence — the lint crate's own docs do this
+/// constantly — is not a directive and must not register (it would
+/// then be reported as stale).
 fn collect_allows(comment: &str, line: u32, allows: &mut BTreeMap<u32, BTreeSet<String>>) {
-    let mut rest = comment;
+    let lead = comment.trim_start_matches(['/', '*', '!', ' ', '\t']);
+    if !lead.starts_with("lint:allow(") {
+        return;
+    }
+    let mut rest = lead;
     while let Some(pos) = rest.find("lint:allow(") {
         rest = &rest[pos + "lint:allow(".len()..];
         if let Some(close) = rest.find(')') {

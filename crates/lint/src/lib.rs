@@ -20,6 +20,7 @@
 
 pub mod lexer;
 pub mod rules;
+pub mod summary;
 
 use lexer::{LexedFile, Tok, Token};
 use std::collections::BTreeSet;
@@ -68,6 +69,36 @@ pub struct DispatchSpec {
     pub handler_suffixes: &'static [&'static str],
 }
 
+/// WAL-before-ack conformance spec: every arm of `handler_type ::
+/// handler_method`'s match over the wire request enum that (transitively)
+/// mutates durable state *and* constructs a non-error `reply_enum`
+/// variant must also reach `log.append`.
+#[derive(Debug, Clone)]
+pub struct AckHandlerSpec {
+    /// `impl` type of the handler (`DsmServer`, `CommitParticipant`).
+    pub handler_type: &'static str,
+    /// Handler method name (`handle`).
+    pub handler_method: &'static str,
+    /// Wire request enum the handler matches over.
+    pub request_enum: &'static str,
+    /// Reply enum whose non-error variants count as acks.
+    pub reply_enum: &'static str,
+}
+
+/// Fence-before-apply conformance spec: every arm of the handler's
+/// match over `request_enum` that (transitively) touches the segment
+/// store must first reach one of the epoch-fence functions — except the
+/// variants listed exempt (creation ops and the mirror/promotion plane,
+/// which carry their own epoch checks).
+#[derive(Debug, Clone)]
+pub struct FenceSpec {
+    pub handler_type: &'static str,
+    pub handler_method: &'static str,
+    pub request_enum: &'static str,
+    /// Variants exempt from the fence (with the reason in the policy).
+    pub exempt_variants: &'static [&'static str],
+}
+
 /// Engine configuration. [`Config::clouds`] is the workspace's own
 /// policy; fixtures and tests may build stricter or looser ones.
 #[derive(Debug, Clone)]
@@ -79,6 +110,33 @@ pub struct Config {
     pub dispatch: Vec<DispatchSpec>,
     /// Root-relative path of the metric-name manifest.
     pub obs_manifest: String,
+    /// WAL-before-ack handler specs.
+    pub ack_handlers: Vec<AckHandlerSpec>,
+    /// Fence-before-apply handler specs.
+    pub fences: Vec<FenceSpec>,
+    /// Hop bound for phase-2 summary propagation. 4 covers the deepest
+    /// real chain (`handle` → `write_back_batch` → `write_back` →
+    /// `log.append`) with one hop to spare; anything deeper is far more
+    /// likely a name-matching artifact than a real call path.
+    pub max_call_depth: usize,
+    /// Method names that block (transport calls, channel sends/recvs);
+    /// matched in method form only.
+    pub blocking_methods: Vec<&'static str>,
+    /// Epoch-fence function names.
+    pub fence_fns: Vec<&'static str>,
+    /// Write-ahead-log method names (on a `log_receivers` receiver).
+    pub log_methods: Vec<&'static str>,
+    /// Receiver names whose method calls are WAL appends.
+    pub log_receivers: Vec<&'static str>,
+    /// Receiver names whose method calls are segment-store touches.
+    pub store_receivers: Vec<&'static str>,
+    /// Store methods that mutate durable state.
+    pub store_mutator_methods: Vec<&'static str>,
+    /// Free/method names that mutate durable state wherever they appear.
+    pub mutator_methods: Vec<&'static str>,
+    /// Reply enums and their error variants: constructing any *other*
+    /// variant counts as an ack-returning path.
+    pub reply_enums: Vec<(&'static str, Vec<&'static str>)>,
 }
 
 impl Config {
@@ -108,8 +166,75 @@ impl Config {
                     def_suffix: "crates/dsm/src/proto.rs",
                     handler_suffixes: &["crates/dsm/src/client.rs"],
                 },
+                DispatchSpec {
+                    enum_name: "CommitRequest",
+                    def_suffix: "crates/consistency/src/commit.rs",
+                    handler_suffixes: &["crates/consistency/src/commit.rs"],
+                },
+                DispatchSpec {
+                    enum_name: "LogRecord",
+                    def_suffix: "crates/store/src/lib.rs",
+                    handler_suffixes: &["crates/store/src/lib.rs"],
+                },
             ],
             obs_manifest: "OBS_SCHEMA.md".into(),
+            ack_handlers: vec![
+                AckHandlerSpec {
+                    handler_type: "DsmServer",
+                    handler_method: "handle",
+                    request_enum: "DsmRequest",
+                    reply_enum: "DsmReply",
+                },
+                AckHandlerSpec {
+                    handler_type: "CommitParticipant",
+                    handler_method: "handle",
+                    request_enum: "CommitRequest",
+                    reply_enum: "CommitReply",
+                },
+            ],
+            fences: vec![FenceSpec {
+                handler_type: "DsmServer",
+                handler_method: "handle",
+                request_enum: "DsmRequest",
+                // Creation ops act before the segment is served;
+                // the mirror/promotion plane carries its own epoch
+                // checks (`adopt_mirror_config` / `log_replica_config`)
+                // instead of the serving fence.
+                exempt_variants: &[
+                    "CreateSegment",
+                    "CreateReplicated",
+                    "MirrorCreate",
+                    "MirrorWrite",
+                    "MirrorDestroy",
+                    "PromoteSegment",
+                ],
+            }],
+            max_call_depth: 4,
+            blocking_methods: vec![
+                "call",
+                "call_many",
+                "call_with_budget",
+                "notify",
+                "send_heartbeat",
+                "send",
+                "recv",
+                "recv_timeout",
+            ],
+            fence_fns: vec!["check_serving"],
+            log_methods: vec!["append"],
+            log_receivers: vec!["log"],
+            store_receivers: vec!["store"],
+            store_mutator_methods: vec!["create", "destroy"],
+            mutator_methods: vec![
+                "write_page",
+                "restore_page",
+                "commit_page",
+                "install_pages",
+            ],
+            reply_enums: vec![
+                ("DsmReply", vec!["Err"]),
+                ("CommitReply", vec!["Refused", "Unknown"]),
+            ],
         }
     }
 }
@@ -120,23 +245,63 @@ impl Config {
 /// sorted by (file, line, rule) so output is stable run to run.
 pub fn run(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
     let files = load_workspace(root)?;
+    let sums = summary::Summaries::build(&files, cfg);
     let mut findings = Vec::new();
     rules::determinism::check(&files, cfg, &mut findings);
     rules::hash_iter::check(&files, &mut findings);
-    rules::locks::check(&files, &mut findings);
+    rules::locks::check(&sums, &mut findings);
     rules::dispatch::check(&files, cfg, &mut findings);
     rules::obs_schema::check(root, &files, cfg, &mut findings);
+    rules::wal_ack::check(&files, &sums, cfg, &mut findings);
+    rules::fence::check(&files, &sums, cfg, &mut findings);
+    rules::lock_across_call::check(&sums, cfg, &mut findings);
 
-    // Apply lint:allow suppression, then sort + dedupe.
-    let mut kept: Vec<Finding> = findings
-        .into_iter()
-        .filter(|f| {
-            files
-                .iter()
-                .find(|sf| sf.info.rel == f.file)
-                .is_none_or(|sf| !sf.lexed.is_allowed(f.rule, f.line))
-        })
-        .collect();
+    // Apply lint:allow suppression, recording which directive each
+    // suppressed finding used so unused directives can be reported.
+    let mut used: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    let mut kept: Vec<Finding> = Vec::new();
+    for f in findings {
+        let directive = files
+            .iter()
+            .find(|sf| sf.info.rel == f.file)
+            .and_then(|sf| sf.lexed.allowing_line(f.rule, f.line));
+        match directive {
+            Some(dl) => {
+                used.insert((f.file.clone(), dl, f.rule.to_string()));
+            }
+            None => kept.push(f),
+        }
+    }
+
+    // Stale-allow: a directive that suppressed nothing this run is
+    // itself a finding — escape hatches must not rot silently. The
+    // check exempts `stale-allow` itself and honors its own allow
+    // (for the rare directive kept for a flapping heuristic).
+    for sf in &files {
+        for (line, rls) in &sf.lexed.allows {
+            for rule in rls {
+                if rule == "stale-allow" {
+                    continue;
+                }
+                if used.contains(&(sf.info.rel.clone(), *line, rule.clone())) {
+                    continue;
+                }
+                if sf.lexed.is_allowed("stale-allow", *line) {
+                    continue;
+                }
+                kept.push(Finding {
+                    file: sf.info.rel.clone(),
+                    line: *line,
+                    rule: "stale-allow",
+                    message: format!(
+                        "`lint:allow({rule})` suppresses nothing — the finding it \
+                         silenced is gone; delete the directive (or it will hide \
+                         the next real `{rule}` violation here)"
+                    ),
+                });
+            }
+        }
+    }
     kept.sort();
     kept.dedup();
     Ok(kept)
@@ -338,6 +503,73 @@ pub fn render_json(findings: &[Finding]) -> String {
         );
     }
     out.push_str("]}\n");
+    out
+}
+
+/// Every rule the engine can emit, with a one-line description — the
+/// SARIF `rules` array and the README table are generated from the same
+/// facts.
+pub const RULES: &[(&str, &str)] = &[
+    ("wall-clock", "no wall-clock time in virtual-time crates"),
+    ("os-entropy", "no OS entropy in virtual-time crates"),
+    ("std-sync-lock", "std::sync locks banned; use parking_lot"),
+    ("hash-iter", "no HashMap/HashSet iteration into canonical output"),
+    ("lock-order", "global lock acquisition order must be acyclic"),
+    (
+        "lock-across-call",
+        "no lock guard held across a blocking transport/channel call",
+    ),
+    ("dispatch-arm", "every wire enum variant must have a handler arm"),
+    ("obs-schema", "metric names must match the checked-in manifest"),
+    (
+        "wal-before-ack",
+        "acked durable mutations must reach log.append",
+    ),
+    (
+        "fence-before-apply",
+        "wire-dispatched segment ops must pass the epoch fence before touching the store",
+    ),
+    ("stale-allow", "lint:allow directives that suppress nothing"),
+];
+
+/// Render findings as SARIF 2.1.0 so CI can surface them as
+/// code-scanning annotations. Stable for sorted input, hand-rolled like
+/// the JSON renderer (this crate stays dependency-free).
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"clouds-lint\",\"informationUri\":\
+         \"https://example.invalid/clouds-lint\",\"rules\":[",
+    );
+    for (i, (id, desc)) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            json_str(id),
+            json_str(desc)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.file),
+            f.line
+        );
+    }
+    out.push_str("]}]}\n");
     out
 }
 

@@ -1,0 +1,103 @@
+//! `fence-before-apply` — wire-dispatched segment ops must pass the
+//! replica-epoch serving fence before touching the store.
+//!
+//! The PR-6 bug class: a demoted ex-primary (or a backup) that applies
+//! a client op to its local store without first checking that it still
+//! *serves* the segment writes on the wrong side of a promotion —
+//! split-brain write loss. The original instance was `WriteBackBatch`
+//! silently bypassing `check_serving` while every other arm had it.
+//!
+//! For every [`crate::FenceSpec`], each arm of the handler's `match`
+//! over the wire request enum that (directly or through the bounded
+//! call graph) touches the segment store must also reach one of the
+//! fence functions — except the variants the spec exempts (creation
+//! ops act before the segment is served; the mirror/promotion plane
+//! carries its own epoch checks). When an arm has both a direct store
+//! touch and a direct fence, the touch must not come first: the fence
+//! read *after* the write is the same bug with extra steps. (Ordering
+//! across call boundaries is not modeled — a fence reached only via a
+//! callee is trusted to precede that callee's own touches, which holds
+//! for every per-page loop in the workspace.)
+
+use crate::summary::{match_arms, Summaries};
+use crate::{Config, Finding};
+
+pub fn check(files: &[crate::SourceFile], sums: &Summaries, cfg: &Config, findings: &mut Vec<Finding>) {
+    for spec in &cfg.fences {
+        for handler in sums.fns.iter().filter(|f| {
+            f.name == spec.handler_method && f.impl_type.as_deref() == Some(spec.handler_type)
+        }) {
+            let toks = &files[handler.file_idx].runtime_tokens;
+            for arm in match_arms(toks, handler.body, spec.request_enum) {
+                if spec.exempt_variants.contains(&arm.variant.as_str()) {
+                    continue;
+                }
+                let in_arm = |tok: usize| tok >= arm.range.0 && tok < arm.range.1;
+
+                let touch = handler
+                    .store_touches
+                    .iter()
+                    .find(|s| in_arm(s.tok))
+                    .map(|s| (s.tok, s.what.clone()))
+                    .or_else(|| {
+                        sums.calls_reach(handler, arm.range, cfg.max_call_depth, |f| {
+                            !f.store_touches.is_empty()
+                        })
+                        .map(|chain| (arm.range.1, format!("via {}", chain.join(" → "))))
+                    });
+                let Some((touch_tok, touch_what)) = touch else {
+                    continue;
+                };
+
+                let direct_fence = handler.fence_checks.iter().find(|s| in_arm(s.tok));
+                let fenced = direct_fence.is_some()
+                    || sums
+                        .calls_reach(handler, arm.range, cfg.max_call_depth, |f| {
+                            !f.fence_checks.is_empty()
+                        })
+                        .is_some();
+
+                if !fenced {
+                    findings.push(Finding {
+                        file: handler.file.clone(),
+                        line: arm.line,
+                        rule: "fence-before-apply",
+                        message: format!(
+                            "{}::{} handler arm `{}::{}` touches the segment store \
+                             ({}) without passing the epoch fence ({}) — a demoted \
+                             replica would apply the op after losing the segment \
+                             (split-brain write loss)",
+                            spec.handler_type,
+                            spec.handler_method,
+                            spec.request_enum,
+                            arm.variant,
+                            touch_what,
+                            cfg.fence_fns.join("/"),
+                        ),
+                    });
+                } else if let Some(fence) = direct_fence {
+                    // Direct-order check: a store touch textually before
+                    // the arm's own fence call.
+                    if touch_tok < fence.tok {
+                        findings.push(Finding {
+                            file: handler.file.clone(),
+                            line: arm.line,
+                            rule: "fence-before-apply",
+                            message: format!(
+                                "{}::{} handler arm `{}::{}` touches the segment \
+                                 store ({}) before its epoch fence ({}) — the \
+                                 check must precede the apply",
+                                spec.handler_type,
+                                spec.handler_method,
+                                spec.request_enum,
+                                arm.variant,
+                                touch_what,
+                                fence.what,
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

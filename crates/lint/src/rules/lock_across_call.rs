@@ -1,0 +1,80 @@
+//! `lock-across-call` — no lock guard live across a blocking call.
+//!
+//! A `parking_lot` guard held across an RaTP `call`/`call_many`/`send`
+//! (or a channel send/recv) couples local mutual exclusion to remote
+//! progress: the reply may take a full timeout-retry cycle — or
+//! require the very lock being held, via a re-entrant request — and
+//! every other thread needing the lock stalls with it. Two real bugs
+//! of this class were fixed by hand in PRs 5–6 (simnet `deliver`
+//! holding the limbo lock across channel sends; the DSM server's
+//! busy-flag protocol exists precisely to keep stripe locks off RPC
+//! paths). This rule generalizes the review discipline.
+//!
+//! Detection: for every call site recorded with a non-empty held-guard
+//! set, the site is flagged if the callee is itself a blocking
+//! primitive (method-form name match against
+//! [`crate::Config::blocking_methods`]), or if any same-named
+//! workspace function reaches one within the bounded call graph — the
+//! witness chain is reported. Stoplisted names are never followed, so
+//! `map.insert(…)` under a guard cannot pick up an `Endpoint::insert`
+//! somewhere that blocks; but a *direct* `tx.send(…)` under a guard is
+//! exactly the bug and is always reported.
+
+use crate::summary::Summaries;
+use crate::{Config, Finding};
+
+pub fn check(sums: &Summaries, cfg: &Config, findings: &mut Vec<Finding>) {
+    for f in &sums.fns {
+        for c in &f.calls {
+            if c.held.is_empty() {
+                continue;
+            }
+            let held = c.held.join(", ");
+            if c.blocking_direct {
+                findings.push(Finding {
+                    file: f.file.clone(),
+                    line: c.line,
+                    rule: "lock-across-call",
+                    message: format!(
+                        "guard `{held}` held across blocking `.{}(…)` in {}() — \
+                         local mutual exclusion now waits on remote progress",
+                        c.callee, f.name
+                    ),
+                });
+                continue;
+            }
+            if c.stoplisted {
+                continue;
+            }
+            for cand in sums.candidates(c, f) {
+                if let Some(chain) = sums.reaches(cand, cfg.max_call_depth, |g| {
+                    g.blocks_directly()
+                }) {
+                    let end = &sums.fns[sums
+                        .fns
+                        .iter()
+                        .position(|g| g.name == *chain.last().expect("non-empty chain"))
+                        .expect("witness names a summarized fn")];
+                    let block = end
+                        .first_blocking()
+                        .map(|b| format!(".{}(…)", b.callee))
+                        .unwrap_or_default();
+                    findings.push(Finding {
+                        file: f.file.clone(),
+                        line: c.line,
+                        rule: "lock-across-call",
+                        message: format!(
+                            "guard `{held}` held in {}() across call to {}() which \
+                             may block ({} → {block}) — local mutual exclusion now \
+                             waits on remote progress",
+                            f.name,
+                            c.callee,
+                            chain.join(" → "),
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}

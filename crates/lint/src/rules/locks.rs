@@ -19,86 +19,16 @@
 //! deliberately approximate (see ARCHITECTURE.md): consistent naming
 //! merges distinct locks conservatively, and `lint:allow(lock-order)`
 //! on a witness line documents a cycle that cannot be scheduled.
+//!
+//! Since the v2 inter-procedural pass, the per-function extraction
+//! (guard lifetimes, call sites, nesting edges) lives in
+//! [`crate::summary`] and is shared with the wal-before-ack,
+//! fence-before-apply, and lock-across-call rules; this module keeps
+//! only the lock-graph construction and cycle detection.
 
-use crate::lexer::{Tok, Token};
-use crate::{functions, Finding, SourceFile};
+use crate::summary::Summaries;
+use crate::Finding;
 use std::collections::{BTreeMap, BTreeSet};
-
-const KEYWORDS: &[&str] = &[
-    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "fn",
-    "move", "in", "as", "ref", "mut", "where", "impl", "dyn", "unsafe", "async", "await", "Some",
-    "None", "Ok", "Err", "Box", "Vec", "String", "Arc", "Rc",
-];
-
-/// Method names so ubiquitous (std trait impls, accessors) that
-/// name-matching them to workspace functions is pure noise: a call to
-/// `x.len()` must not pull in the lock summary of every `fn len` in
-/// the tree. Such leaf accessors still contribute their own direct
-/// facts when analyzed as definitions.
-const CALL_STOPLIST: &[&str] = &[
-    "len",
-    "is_empty",
-    "fmt",
-    "clone",
-    "eq",
-    "ne",
-    "cmp",
-    "partial_cmp",
-    "hash",
-    "next",
-    "default",
-    "to_string",
-    "as_ref",
-    "as_mut",
-    "as_str",
-    "deref",
-    "deref_mut",
-    "index",
-    "from",
-    "into",
-    "drop",
-    "new",
-    "finish",
-    // Collection/accessor vocabulary: `.get(`/`.insert(`/… on a plain
-    // HashMap would otherwise name-match same-named workspace methods
-    // (SegmentStore::get, Counter::inc, …) and fabricate edges.
-    "get",
-    "get_mut",
-    "insert",
-    "remove",
-    "contains",
-    "contains_key",
-    "clear",
-    "entry",
-    "inc",
-    "observe",
-    // Atomics vocabulary: `now_ns.load(…)` must not match `ObjectMeta::load`.
-    "load",
-    "store",
-    // Channel vocabulary: `tx.send(…)`/`rx.recv()` must not match
-    // `Endpoint::send` and friends.
-    "send",
-    "recv",
-    "try_recv",
-    "recv_timeout",
-];
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum GuardKind {
-    /// Released at the next `;` at acquisition depth.
-    Stmt,
-    /// Released when brace depth drops below `depth`.
-    Block,
-}
-
-#[derive(Debug, Clone)]
-struct Guard {
-    key: String,
-    kind: GuardKind,
-    depth: i32,
-    /// `let` binding name, for `drop(name)` release.
-    bound: Option<String>,
-}
 
 #[derive(Debug, Clone)]
 struct Edge {
@@ -109,47 +39,31 @@ struct Edge {
     via: String,
 }
 
-#[derive(Debug, Default)]
-struct FnFacts {
-    /// File the function lives in.
-    file: String,
-    /// Lock keys acquired directly in this function.
-    direct: BTreeSet<String>,
-    /// (callee simple name, held keys at the call, line).
-    calls: Vec<(String, Vec<String>, u32)>,
-    /// Intra-function held→acquired edges.
-    edges: Vec<Edge>,
-}
-
-pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) {
-    // ---- per-function extraction --------------------------------------
-    let mut facts: Vec<(String, FnFacts)> = Vec::new(); // (fn simple name, facts)
-    for sf in files {
-        if !sf.info.is_src {
-            continue;
-        }
-        let toks = &sf.runtime_tokens;
-        for f in functions(toks) {
-            let ff = extract(toks, &f, &sf.info.rel);
-            facts.push((f.name.clone(), ff));
-        }
-    }
-
+pub fn check(sums: &Summaries, findings: &mut Vec<Finding>) {
     // ---- transitive lock summaries over the name-matched call graph ---
-    let mut summary: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    for (name, ff) in &facts {
-        summary.entry(name.clone()).or_default().extend(ff.direct.iter().cloned());
+    // (The lock-order graph deliberately keeps the original free
+    // name-matching — no impl-type narrowing — so merged same-named
+    // locks stay conservative.)
+    let mut lockset: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for f in &sums.fns {
+        let s = lockset.entry(f.name.as_str()).or_default();
+        for l in &f.locks {
+            s.insert(l.key.as_str());
+        }
     }
     loop {
         let mut changed = false;
-        for (name, ff) in &facts {
-            let mut add: BTreeSet<String> = BTreeSet::new();
-            for (callee, _, _) in &ff.calls {
-                if let Some(s) = summary.get(callee) {
-                    add.extend(s.iter().cloned());
+        for f in &sums.fns {
+            let mut add: BTreeSet<&str> = BTreeSet::new();
+            for c in &f.calls {
+                if c.stoplisted {
+                    continue;
+                }
+                if let Some(s) = lockset.get(c.callee.as_str()) {
+                    add.extend(s.iter().copied());
                 }
             }
-            let s = summary.entry(name.clone()).or_default();
+            let s = lockset.entry(f.name.as_str()).or_default();
             let before = s.len();
             s.extend(add);
             if s.len() != before {
@@ -163,12 +77,25 @@ pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) {
 
     // ---- assemble the global edge set ---------------------------------
     let mut edges: Vec<Edge> = Vec::new();
-    for (name, ff) in &facts {
-        edges.extend(ff.edges.iter().cloned());
-        for (callee, held, line) in &ff.calls {
-            let Some(acq) = summary.get(callee) else { continue };
-            for h in held {
-                for k in acq {
+    for f in &sums.fns {
+        for e in &f.nest_edges {
+            edges.push(Edge {
+                from: e.from.clone(),
+                to: e.to.clone(),
+                file: f.file.clone(),
+                line: e.line,
+                via: format!("in {}()", f.name),
+            });
+        }
+        for c in &f.calls {
+            if c.stoplisted {
+                continue;
+            }
+            let Some(acq) = lockset.get(c.callee.as_str()) else {
+                continue;
+            };
+            for h in &c.held {
+                for &k in acq {
                     if h == k {
                         // Cross-function self-edges are dominated by the
                         // name-matching approximation; skip them.
@@ -176,10 +103,13 @@ pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) {
                     }
                     edges.push(Edge {
                         from: h.clone(),
-                        to: k.clone(),
-                        file: ff.file.clone(),
-                        line: *line,
-                        via: format!("{h} held in {name}() across call to {callee}() which may acquire {k}"),
+                        to: k.to_string(),
+                        file: f.file.clone(),
+                        line: c.line,
+                        via: format!(
+                            "{h} held in {}() across call to {}() which may acquire {k}",
+                            f.name, c.callee
+                        ),
                     });
                 }
             }
@@ -227,239 +157,6 @@ pub fn check(files: &[SourceFile], findings: &mut Vec<Finding>) {
                 message: format!("lock-order cycle: {}", desc.join("; ")),
             });
         }
-    }
-}
-
-/// Extract lock facts from one function body.
-fn extract(toks: &[Token], f: &crate::FnSpan, file: &str) -> FnFacts {
-    let mut ff = FnFacts {
-        file: file.to_string(),
-        ..FnFacts::default()
-    };
-    let (bs, be) = f.body;
-    let end = be.min(toks.len());
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut depth = 0i32; // brace depth relative to body start
-
-    let mut i = bs;
-    while i < end {
-        match &toks[i].kind {
-            Tok::Punct('{') => depth += 1,
-            Tok::Punct('}') => {
-                depth -= 1;
-                guards.retain(|g| g.depth <= depth);
-            }
-            // `;` ends a statement; `,` ends a match arm (and, as a
-            // conservative side effect, an argument position — losing a
-            // same-statement edge, never inventing one).
-            Tok::Punct(';') | Tok::Punct(',') => {
-                guards.retain(|g| !(g.kind == GuardKind::Stmt && g.depth >= depth));
-            }
-            // `drop(name)` releases a let-bound guard early.
-            Tok::Ident(id) if id == "drop" && toks.get(i + 1).is_some_and(|t| t.kind.is_punct('(')) => {
-                if let Some(Tok::Ident(arg)) = toks.get(i + 2).map(|t| &t.kind) {
-                    if toks.get(i + 3).is_some_and(|t| t.kind.is_punct(')')) {
-                        guards.retain(|g| g.bound.as_deref() != Some(arg.as_str()));
-                    }
-                }
-            }
-            // Acquisition: `<chain> . lock|read|write ( )`
-            Tok::Punct('.')
-                if matches!(
-                    toks.get(i + 1).and_then(|t| t.kind.ident()),
-                    Some("lock" | "read" | "write")
-                ) && toks.get(i + 2).is_some_and(|t| t.kind.is_punct('('))
-                    && toks.get(i + 3).is_some_and(|t| t.kind.is_punct(')')) =>
-            {
-                let line = toks[i + 1].line;
-                if let Some((key, chain_start)) = receiver_key(toks, i, f) {
-                    for g in &guards {
-                        ff.edges.push(Edge {
-                            from: g.key.clone(),
-                            to: key.clone(),
-                            file: file.to_string(),
-                            line,
-                            via: format!("in {}()", f.name),
-                        });
-                    }
-                    ff.direct.insert(key.clone());
-                    // `m.lock().remove(x)` — the chain continuing past
-                    // the guard call means the guard is a temporary:
-                    // a `let` binds the chain's *result*, not the guard.
-                    let chained = toks.get(i + 4).is_some_and(|t| t.kind.is_punct('.'));
-                    let (kind, gdepth, bound) =
-                        binding_of(toks, chain_start, bs, depth, chained);
-                    guards.push(Guard {
-                        key,
-                        kind,
-                        depth: gdepth,
-                        bound,
-                    });
-                }
-                i += 4;
-                continue;
-            }
-            // Call site: `name (` — not a method-definition, macro, or
-            // constructor.
-            Tok::Ident(id)
-                if toks.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
-                    && !KEYWORDS.contains(&id.as_str())
-                    && !CALL_STOPLIST.contains(&id.as_str())
-                    && id.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
-                    && !(i > 0 && toks[i - 1].kind.is_ident("fn")) =>
-            {
-                let held: Vec<String> = guards.iter().map(|g| g.key.clone()).collect();
-                ff.calls.push((id.clone(), held, toks[i].line));
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    ff
-}
-
-/// Key the receiver chain ending at the `.` before lock/read/write.
-/// Returns (key, index of the chain's first token).
-///
-/// Indexed receivers — the stripe pattern `self.shards[i].pages.lock()`
-/// — are traversed through the `[...]` (any balanced index expression)
-/// and keyed with the whole path, index abstracted to `[_]`:
-/// `DsmServer.shards[_].pages`. Every element of a stripe array maps to
-/// the one key, which is exactly the right approximation for the
-/// stripe discipline (never hold two stripes of one family; sweeps
-/// visit stripes one at a time), because holding one stripe while
-/// taking another of the same family then shows up as a self-loop.
-fn receiver_key(toks: &[Token], dot: usize, f: &crate::FnSpan) -> Option<(String, usize)> {
-    // Walk back over `ident ( [index] )? ( . ident ( [index] )? )*`,
-    // tolerating interposed `()` for calls like `.as_ref()` is NOT
-    // attempted: a `)` aborts.
-    let mut idx = dot;
-    let mut chain: Vec<String> = Vec::new();
-    let mut indexed = false;
-    loop {
-        if idx == 0 {
-            break;
-        }
-        let prev = &toks[idx - 1];
-        match &prev.kind {
-            Tok::Ident(id) => {
-                chain.push(id.clone());
-                idx -= 1;
-                // Continue only over a further `.`
-                if idx > 0 && toks[idx - 1].kind.is_punct('.') {
-                    idx -= 1;
-                    continue;
-                }
-                break;
-            }
-            // `shards[i]` (or any balanced index expression): skip back
-            // to the matching `[` and abstract the index to `[_]`.
-            Tok::Punct(']') => {
-                let mut bdepth = 1i32;
-                let mut k = idx - 1;
-                while k > 0 && bdepth > 0 {
-                    k -= 1;
-                    match &toks[k].kind {
-                        Tok::Punct('[') => bdepth -= 1,
-                        Tok::Punct(']') => bdepth += 1,
-                        _ => {}
-                    }
-                }
-                if bdepth != 0 {
-                    break; // unmatched bracket: give up on the chain
-                }
-                chain.push("[_]".to_string());
-                indexed = true;
-                idx = k; // toks[k] is `[`; the array ident precedes it
-            }
-            _ => break,
-        }
-    }
-    // Fuse `[_]` markers onto the identifier they index.
-    chain.reverse();
-    let mut parts: Vec<String> = Vec::new();
-    for c in chain {
-        if c == "[_]" {
-            match parts.last_mut() {
-                Some(last) => last.push_str("[_]"),
-                None => return None, // chain started at the bracket
-            }
-        } else {
-            parts.push(c);
-        }
-    }
-    if parts.is_empty() {
-        return None;
-    }
-    let key = if indexed {
-        // Stripe keys carry the whole path: `pages` alone would merge
-        // every stripe family member with any same-named plain field.
-        if parts[0] == "self" && parts.len() >= 2 {
-            match &f.impl_type {
-                Some(t) => format!("{t}.{}", parts[1..].join(".")),
-                None => parts[1..].join("."),
-            }
-        } else {
-            parts.join(".")
-        }
-    } else if parts[0] == "self" && parts.len() >= 2 {
-        match &f.impl_type {
-            Some(t) => format!("{t}.{}", parts.last().unwrap()),
-            None => parts.last().unwrap().clone(),
-        }
-    } else {
-        parts.last().unwrap().clone()
-    };
-    Some((key, idx))
-}
-
-/// How long does the guard acquired by the expression starting at
-/// `chain_start` live? Scans the statement prefix (back to the nearest
-/// `;`/`{`/`}`) for, in priority order: a `match`/`if`/`while`
-/// scrutinee position (guard lives for the construct's block — Rust
-/// extends scrutinee temporaries, which is exactly the
-/// `if let Some(x) = m.lock().get(…)` deadlock footgun), a `let … =`
-/// binding (guard lives to end of the enclosing block — but only when
-/// the `let` binds the guard itself, i.e. `chained` is false), or
-/// anything else (temporary: dies at end of statement).
-fn binding_of(
-    toks: &[Token],
-    chain_start: usize,
-    body_start: usize,
-    depth: i32,
-    chained: bool,
-) -> (GuardKind, i32, Option<String>) {
-    let lo = chain_start.saturating_sub(16).max(body_start);
-    let mut saw_eq = false;
-    let mut let_name: Option<String> = None;
-    let mut j = chain_start;
-    while j > lo {
-        j -= 1;
-        match &toks[j].kind {
-            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
-            Tok::Ident(id) if id == "match" || id == "while" || id == "if" => {
-                return (GuardKind::Block, depth + 1, None);
-            }
-            Tok::Punct('=') if !saw_eq => {
-                saw_eq = true;
-                if j >= 1 {
-                    if let Tok::Ident(name) = &toks[j - 1].kind {
-                        let mut k = j - 1;
-                        if k > 0 && toks[k - 1].kind.is_ident("mut") {
-                            k -= 1;
-                        }
-                        if k > 0 && toks[k - 1].kind.is_ident("let") {
-                            let_name = Some(name.clone());
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    match let_name {
-        Some(name) if !chained => (GuardKind::Block, depth, Some(name)),
-        _ => (GuardKind::Stmt, depth, None),
     }
 }
 

@@ -607,8 +607,14 @@ fn handle_reply_fragment(node: &Arc<RatpNode>, pkt: Packet) {
     let Some(slot) = pending.get_mut(&pkt.txn) else {
         return; // stale reply for a finished call
     };
+    // `reply_tx` is bounded(1): a duplicate completion (phantom reply,
+    // re-sent final fragment) would make a blocking `send` wedge this
+    // receive loop forever *while holding the pending lock*. `try_send`
+    // delivers the first completion and drops the rest.
     if pkt.kind == PacketKind::NoService {
-        let _ = slot.reply_tx.send(Err(CallError::ServiceNotFound(pkt.port)));
+        let _ = slot
+            .reply_tx
+            .try_send(Err(CallError::ServiceNotFound(pkt.port)));
         pending.remove(&pkt.txn);
         return;
     }
@@ -616,6 +622,6 @@ fn handle_reply_fragment(node: &Arc<RatpNode>, pkt: Packet) {
         .reassembly
         .get_or_insert_with(|| Reassembly::new(pkt.frag_count));
     if let Some(message) = reassembly.insert(pkt) {
-        let _ = slot.reply_tx.send(Ok(message));
+        let _ = slot.reply_tx.try_send(Ok(message));
     }
 }

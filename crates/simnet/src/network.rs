@@ -385,8 +385,10 @@ impl NetInner {
 
         if duplicated {
             self.stats.frames_duplicated.fetch_add(1, Ordering::Relaxed);
+            // lint:allow(lock-across-call) — slot.tx is unbounded; send never blocks.
             let _ = slot.tx.send(frame.clone());
         }
+        // lint:allow(lock-across-call) — slot.tx is unbounded; send never blocks.
         let _ = slot.tx.send(frame);
         // Anything held back for this destination now goes out *after*
         // the newer frame — that is the reordering. Take the batch out
@@ -394,6 +396,7 @@ impl NetInner {
         let held = self.limbo.lock().remove(&dst);
         if let Some(held) = held {
             for f in held {
+                // lint:allow(lock-across-call) — slot.tx is unbounded; send never blocks.
                 let _ = slot.tx.send(f);
             }
         }
@@ -412,6 +415,9 @@ impl NetInner {
             }
             let action = event.action.clone();
             sched.next += 1;
+            // lint:allow(lock-across-call) — apply_action only feeds
+            // unbounded in-process queues; holding the schedule lock
+            // keeps fault application atomic w.r.t. the threshold.
             self.apply_action(&action);
         }
     }
@@ -461,6 +467,7 @@ impl NetInner {
                         .fetch_add(frames.len() as u64, Ordering::Relaxed);
                 } else {
                     for f in frames {
+                        // lint:allow(lock-across-call) — slot.tx is unbounded; send never blocks.
                         let _ = slot.tx.send(f);
                     }
                 }

@@ -17,6 +17,26 @@ impl<T> fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded channel is at capacity; the value is handed back.
+    Full(T),
+    /// Every receiver has been dropped; the value is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => {
+                f.write_str("sending on a disconnected channel")
+            }
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
@@ -167,6 +187,29 @@ impl<T> Sender<T> {
                         .expect("channel lock");
                 }
                 _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.chan.recv_ready.notify_one();
+        Ok(())
+    }
+
+    /// Send without blocking: fail instead of waiting on a full
+    /// bounded channel.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when a bounded channel is at capacity,
+    /// [`TrySendError::Disconnected`] when every receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.chan.state.lock().expect("channel lock");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.chan.capacity {
+            if state.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
             }
         }
         state.queue.push_back(value);
@@ -328,6 +371,18 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), 1);
         t.join().unwrap();
         assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn try_send_fails_fast_on_full_or_disconnected() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 3);
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
